@@ -1,0 +1,90 @@
+// Ablation: why 1R1W-SKSS-LB self-assigns tiles with atomicAdd in
+// diagonal-major serial order.
+//
+// CUDA gives no dispatch-order guarantee, so a single-kernel algorithm with
+// inter-block waits must tolerate any admission order under limited
+// residency. This harness runs SKSS-LB under every dispatch order with the
+// paper's atomic grab (always succeeds, time nearly unchanged) and with the
+// ablated direct blockIdx→tile mapping (deadlocks whenever a successor is
+// admitted before its dependencies can ever run).
+//
+//   ./bench_ablation_schedule [--n 2048] [--w 64]
+#include <cstdio>
+
+#include "model/predict.hpp"
+#include "sat/registry.hpp"
+#include "util/argparse.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+const char* run_once(std::size_t n, std::size_t w, gpusim::AssignmentOrder ord,
+                     bool direct, const gpusim::DeviceConfig& dev,
+                     double* out_ms) {
+  gpusim::SimContext sim(dev);
+  sim.materialize = false;
+  gpusim::GlobalBuffer<float> a(sim, n * n, "in"), b(sim, n * n, "out");
+  satalgo::SatParams p;
+  p.tile_w = w;
+  p.order = ord;
+  p.seed = 7;
+  p.skss_direct_assignment = direct;
+  try {
+    const auto run =
+        satalgo::run_algorithm(sim, satalgo::Algorithm::kSkssLb, a, b, n, p);
+    *out_ms = satmodel::predict_run_ms(run, sim.cost);
+    return "completes";
+  } catch (const gpusim::DeadlockError&) {
+    *out_ms = -1;
+    return "DEADLOCK (diagnosed)";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  satutil::ArgParser args(
+      "bench_ablation_schedule",
+      "SKSS-LB work assignment vs hardware dispatch order");
+  args.add("n", "2048", "matrix side").add("w", "64", "tile width");
+  if (!args.parse(argc, argv)) return 1;
+  const auto n = static_cast<std::size_t>(args.get_int("n"));
+  const auto w = static_cast<std::size_t>(args.get_int("w"));
+
+  const gpusim::DeviceConfig titan = gpusim::DeviceConfig::titan_v();
+  // A constrained device (few resident blocks) makes admission-order bugs
+  // bite: on the full device most grids fit entirely.
+  const gpusim::DeviceConfig tiny = gpusim::DeviceConfig::tiny(2, 1);
+
+  satutil::TextTable t(
+      {"device", "dispatch order", "assignment", "outcome", "modeled ms"});
+  bool atomic_always_ok = true, direct_breaks_somewhere = false;
+  for (const auto* dev : {&titan, &tiny}) {
+    for (auto ord :
+         {gpusim::AssignmentOrder::Natural, gpusim::AssignmentOrder::Reversed,
+          gpusim::AssignmentOrder::Strided, gpusim::AssignmentOrder::Random}) {
+      for (bool direct : {false, true}) {
+        double ms = 0;
+        const char* outcome = run_once(n, w, ord, direct, *dev, &ms);
+        t.add_row({dev == &titan ? "TITAN V" : "tiny(2 SM x 1)",
+                   gpusim::to_string(ord),
+                   direct ? "blockIdx (ablated)" : "atomicAdd (paper)",
+                   outcome,
+                   ms < 0 ? "-" : satutil::format_sig(ms, 4)});
+        if (!direct && ms < 0) atomic_always_ok = false;
+        if (direct && ms < 0) direct_breaks_somewhere = true;
+      }
+    }
+    t.add_separator();
+  }
+
+  std::printf("Work-assignment ablation — 1R1W-SKSS-LB, n = %zu, W = %zu\n%s\n",
+              n, w, t.render().c_str());
+  std::printf("atomic self-assignment: %s under every order/residency; "
+              "blockIdx assignment: %s.\n",
+              atomic_always_ok ? "deadlock-free" : "BROKEN",
+              direct_breaks_somewhere
+                  ? "deadlocks under adversarial dispatch (as predicted)"
+                  : "unexpectedly survived everything");
+  return (atomic_always_ok && direct_breaks_somewhere) ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// Sensitivity analysis: are the paper's conclusions TITAN V artifacts?
+//
+// Reruns the core comparison (best-W per algorithm, overhead vs duplication)
+// on three simulated devices spanning ~10× in bandwidth and ~5× in SM count.
+// The checks: 1R1W-SKSS-LB stays the fastest SAT algorithm at large sizes on
+// every device, and its overhead stays in the low tens of percent — i.e. the
+// paper's algorithmic conclusion is a property of the memory-access
+// structure, not of one GPU's ratios.
+//
+//   ./bench_devices [--n 8192]
+#include <cstdio>
+#include <vector>
+
+#include "model/predict.hpp"
+#include "sat/registry.hpp"
+#include "util/argparse.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+double run_ms(const gpusim::DeviceConfig& dev, satalgo::Algorithm algo,
+              std::size_t n, std::size_t w) {
+  gpusim::SimContext sim(dev);
+  sim.materialize = false;
+  gpusim::GlobalBuffer<float> a(sim, n * n, "in"), b(sim, n * n, "out");
+  satalgo::SatParams p;
+  p.tile_w = w;
+  const auto run = satalgo::run_algorithm(sim, algo, a, b, n, p);
+  return satmodel::predict_run_ms(run, sim.cost);
+}
+
+double best_ms(const gpusim::DeviceConfig& dev, satalgo::Algorithm algo,
+               std::size_t n) {
+  if (!satalgo::is_tiled(algo)) return run_ms(dev, algo, n, 64);
+  double best = 1e300;
+  for (std::size_t w : {32ul, 64ul, 128ul})
+    best = std::min(best, run_ms(dev, algo, n, w));
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  satutil::ArgParser args("bench_devices",
+                          "device sensitivity of the paper's conclusions");
+  args.add("n", "8192", "matrix side");
+  if (!args.parse(argc, argv)) return 1;
+  const auto n = static_cast<std::size_t>(args.get_int("n"));
+
+  const gpusim::DeviceConfig devices[] = {gpusim::DeviceConfig::mobile_class(),
+                                          gpusim::DeviceConfig::titan_v(),
+                                          gpusim::DeviceConfig::hbm_class()};
+
+  std::vector<std::string> header = {"algorithm"};
+  for (const auto& d : devices) header.push_back(d.name);
+  satutil::TextTable t(header);
+
+  std::vector<double> dup(3), lb(3);
+  for (std::size_t k = 0; k < 3; ++k)
+    dup[k] = best_ms(devices[k], satalgo::Algorithm::kDuplicate, n);
+  {
+    std::vector<std::string> row = {"duplicate"};
+    for (std::size_t k = 0; k < 3; ++k)
+      row.push_back(satutil::format_sig(dup[k], 3) + " ms");
+    t.add_row(row);
+    t.add_separator();
+  }
+
+  bool lb_fastest_everywhere = true;
+  for (auto algo : satalgo::all_sat_algorithms()) {
+    std::vector<std::string> row = {satalgo::name_of(algo)};
+    for (std::size_t k = 0; k < 3; ++k) {
+      const double ms = best_ms(devices[k], algo, n);
+      if (algo == satalgo::Algorithm::kSkssLb) lb[k] = ms;
+      row.push_back(satutil::format_sig(ms, 3) + " ms (" +
+                    satutil::format_pct(satmodel::overhead_pct(ms, dup[k])) +
+                    ")");
+    }
+    t.add_row(row);
+  }
+  for (auto algo : satalgo::all_sat_algorithms()) {
+    if (algo == satalgo::Algorithm::kSkssLb) continue;
+    for (std::size_t k = 0; k < 3; ++k)
+      if (best_ms(devices[k], algo, n) < lb[k]) lb_fastest_everywhere = false;
+  }
+
+  std::printf("device sensitivity at n = %zu — best-over-W modeled ms "
+              "(overhead vs duplication)\n%s\n",
+              n, t.render().c_str());
+  bool overhead_small = true;
+  for (std::size_t k = 0; k < 3; ++k)
+    overhead_small &= satmodel::overhead_pct(lb[k], dup[k]) < 30.0;
+  std::printf("1R1W-SKSS-LB fastest on every device: %s; overhead < 30%% on "
+              "every device: %s\n",
+              lb_fastest_everywhere ? "yes" : "NO",
+              overhead_small ? "yes" : "NO");
+  std::printf("(the paper's conclusion follows from the access structure, "
+              "not from TITAN V's specific bandwidth/SM ratios)\n");
+  return (lb_fastest_everywhere && overhead_small) ? 0 : 1;
+}

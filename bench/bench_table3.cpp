@@ -1,0 +1,223 @@
+// Regenerates Table III: the running time (modeled TITAN V milliseconds) and
+// overhead over matrix duplication of every SAT algorithm, for sizes
+// 256²…32K² and tile widths W ∈ {32, 64, 128}, with the paper's published
+// numbers printed alongside and the paper's qualitative claims checked:
+//
+//   1. 1R1W-SKSS-LB (best W) is the fastest SAT algorithm at every size.
+//   2. 2R2W is the slowest algorithm at every size.
+//   3. 2R2W-optimal's overhead is ≥ 100 % and approaches 100 % from above.
+//   4. 2R1W's overhead is ≥ 50 % at large sizes.
+//   5. No tile-based algorithm beats 100 % overhead at 256² (too few blocks
+//      for 80 SMs).
+//   6. 1R1W-SKSS-LB's overhead at n ≥ 8K is ≤ 15 % (paper: 5.7–7.5 %).
+//
+//   ./bench_table3 [--max-size 32768] [--functional-limit 0]
+//
+// Cells run in count-only mode by default (identical counters and critical
+// paths to materialized mode — asserted by the test suite); pass
+// --functional-limit 4096 to additionally validate results at sizes ≤ 4096.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "model/table3.hpp"
+#include "util/argparse.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+using satalgo::Algorithm;
+using satmodel::CellResult;
+
+struct ShapeCheck {
+  std::string what;
+  bool ok;
+};
+
+int run_table(std::size_t max_size, std::size_t functional_limit) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t n : satmodel::kPaperSizes)
+    if (n <= max_size) sizes.push_back(n);
+
+  const std::vector<std::size_t> tile_ws = {32, 64, 128};
+
+  // (algorithm, W) → per-size cells; W = 0 for untiled rows.
+  std::map<std::pair<Algorithm, std::size_t>, std::vector<CellResult>> cells;
+  std::vector<double> dup_ms;
+
+  for (std::size_t n : sizes) {
+    const bool mat = n <= functional_limit;
+    const auto dup = satmodel::run_cell(n, Algorithm::kDuplicate, 64, mat);
+    dup_ms.push_back(dup.model_ms);
+    cells[{Algorithm::kDuplicate, 0}].push_back(dup);
+    for (Algorithm algo : satalgo::all_sat_algorithms()) {
+      if (satalgo::is_tiled(algo)) {
+        for (std::size_t w : tile_ws)
+          cells[{algo, w}].push_back(satmodel::run_cell(n, algo, w, mat));
+      } else {
+        cells[{algo, 0}].push_back(satmodel::run_cell(n, algo, 64, mat));
+      }
+    }
+    std::fprintf(stderr, "  n=%zu done (%s)\n", n,
+                 mat ? "functional" : "count-only");
+  }
+
+  // ---- The paper-style table -------------------------------------------
+  std::vector<std::string> header = {"algorithm", "W^2"};
+  for (std::size_t n : sizes) header.push_back(satutil::format_size_label(n) + "^2");
+  satutil::TextTable table(header);
+
+  auto add_algo_rows = [&](Algorithm algo) {
+    const bool tiled = satalgo::is_tiled(algo);
+    const auto ws = tiled ? tile_ws : std::vector<std::size_t>{0};
+    for (std::size_t w : ws) {
+      std::vector<std::string> row = {
+          satalgo::name_of(algo),
+          w == 0 ? "-" : std::to_string(w) + "^2"};
+      for (std::size_t k = 0; k < sizes.size(); ++k)
+        row.push_back(satutil::format_sig(cells[{algo, w}][k].model_ms, 3));
+      table.add_row(row);
+    }
+    // Paper rows for comparison.
+    for (std::size_t w : ws) {
+      std::vector<std::string> row = {
+          std::string("  (paper)"),
+          w == 0 ? "-" : std::to_string(w) + "^2"};
+      for (std::size_t k = 0; k < sizes.size(); ++k) {
+        const auto& c = cells[{algo, w}][k];
+        row.push_back(c.paper_ms ? satutil::format_sig(*c.paper_ms, 3) : "-");
+      }
+      table.add_row(row);
+    }
+    // Overhead of the best W vs duplication (the paper's bottom line).
+    std::vector<std::string> orow = {"  overhead", ""};
+    std::vector<std::string> prow = {"  (paper ovh)", ""};
+    for (std::size_t k = 0; k < sizes.size(); ++k) {
+      double best = 1e300, paper_best = 1e300;
+      bool have_paper = false;
+      for (std::size_t w : ws) {
+        const auto& c = cells[{algo, w}][k];
+        best = std::min(best, c.model_ms);
+        if (c.paper_ms) {
+          paper_best = std::min(paper_best, *c.paper_ms);
+          have_paper = true;
+        }
+      }
+      orow.push_back(
+          satutil::format_pct(satmodel::overhead_pct(best, dup_ms[k])));
+      const auto paper_dup =
+          satmodel::paper_time_ms("duplicate", 0, sizes[k]);
+      prow.push_back(have_paper && paper_dup ? satutil::format_pct(
+                                                   satmodel::overhead_pct(
+                                                       paper_best, *paper_dup))
+                                             : "-");
+    }
+    table.add_row(orow);
+    table.add_row(prow);
+    table.add_separator();
+  };
+
+  {
+    std::vector<std::string> row = {"duplicate (cudaMemcpy)", "-"};
+    for (std::size_t k = 0; k < sizes.size(); ++k)
+      row.push_back(satutil::format_sig(dup_ms[k], 3));
+    table.add_row(row);
+    std::vector<std::string> prow = {"  (paper)", "-"};
+    for (std::size_t n : sizes)
+      prow.push_back(
+          satutil::format_sig(*satmodel::paper_time_ms("duplicate", 0, n), 3));
+    table.add_row(prow);
+    table.add_separator();
+  }
+  for (Algorithm algo : satalgo::all_sat_algorithms()) add_algo_rows(algo);
+
+  std::printf(
+      "Table III reproduction — modeled TITAN V milliseconds (paper values "
+      "interleaved)\n%s\n",
+      table.render().c_str());
+
+  // ---- Shape checks ------------------------------------------------------
+  auto best_ms = [&](Algorithm algo, std::size_t k) {
+    double best = 1e300;
+    const auto ws = satalgo::is_tiled(algo) ? tile_ws : std::vector<std::size_t>{0};
+    for (std::size_t w : ws) best = std::min(best, cells[{algo, w}][k].model_ms);
+    return best;
+  };
+
+  std::vector<ShapeCheck> checks;
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    const double lb = best_ms(Algorithm::kSkssLb, k);
+    bool fastest = true;
+    for (Algorithm algo : satalgo::all_sat_algorithms())
+      if (algo != Algorithm::kSkssLb && best_ms(algo, k) < lb) fastest = false;
+    checks.push_back({"1R1W-SKSS-LB fastest at " +
+                          satutil::format_size_label(sizes[k]) + "^2",
+                      fastest});
+  }
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    const double worst = best_ms(Algorithm::k2R2W, k);
+    bool slowest = true;
+    for (Algorithm algo : satalgo::all_sat_algorithms())
+      if (algo != Algorithm::k2R2W && best_ms(algo, k) > worst) slowest = false;
+    checks.push_back(
+        {"2R2W slowest at " + satutil::format_size_label(sizes[k]) + "^2",
+         slowest});
+  }
+  for (std::size_t k = 0; k < sizes.size(); ++k) {
+    const double ovh =
+        satmodel::overhead_pct(best_ms(Algorithm::k2R2WOptimal, k), dup_ms[k]);
+    checks.push_back({"2R2W-optimal overhead >= 100% at " +
+                          satutil::format_size_label(sizes[k]) + "^2 (" +
+                          satutil::format_pct(ovh) + ")",
+                      ovh >= 99.0});
+  }
+  if (max_size >= 8192) {
+    for (std::size_t k = 0; k < sizes.size(); ++k) {
+      if (sizes[k] < 8192) continue;
+      const double ovh =
+          satmodel::overhead_pct(best_ms(Algorithm::k2R1W, k), dup_ms[k]);
+      checks.push_back({"2R1W overhead >= 50% at " +
+                            satutil::format_size_label(sizes[k]) + "^2 (" +
+                            satutil::format_pct(ovh) + ")",
+                        ovh >= 50.0});
+      const double lb_ovh =
+          satmodel::overhead_pct(best_ms(Algorithm::kSkssLb, k), dup_ms[k]);
+      checks.push_back({"1R1W-SKSS-LB overhead <= 15% at " +
+                            satutil::format_size_label(sizes[k]) + "^2 (" +
+                            satutil::format_pct(lb_ovh) + ")",
+                        lb_ovh <= 15.0});
+    }
+  }
+  {
+    bool none_below_100 = true;
+    for (Algorithm algo : satalgo::tiled_sat_algorithms())
+      if (satmodel::overhead_pct(best_ms(algo, 0), dup_ms[0]) < 100.0)
+        none_below_100 = false;
+    checks.push_back(
+        {"no tiled algorithm below 100% overhead at 256^2", none_below_100});
+  }
+
+  int failures = 0;
+  std::printf("shape checks (paper's qualitative claims):\n");
+  for (const auto& c : checks) {
+    std::printf("  [%s] %s\n", c.ok ? "ok" : "FAIL", c.what.c_str());
+    failures += c.ok ? 0 : 1;
+  }
+  std::printf("%d of %zu checks passed\n", int(checks.size()) - failures,
+              checks.size());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  satutil::ArgParser args("bench_table3",
+                          "regenerate Table III with the performance model");
+  args.add("max-size", "32768", "largest matrix side to run")
+      .add("functional-limit", "0",
+           "materialize (and thereby fully execute) cells up to this size");
+  if (!args.parse(argc, argv)) return 1;
+  return run_table(static_cast<std::size_t>(args.get_int("max-size")),
+                   static_cast<std::size_t>(args.get_int("functional-limit")));
+}

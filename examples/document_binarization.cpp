@@ -1,0 +1,96 @@
+// Adaptive document binarization via integral images: local mean and local
+// standard deviation in O(1) per pixel from the SAT and squared-SAT
+// (Sauvola thresholding) — robust to the illumination gradients that break
+// any global threshold.
+//
+//   ./document_binarization [--n 256] [--radius 12]
+#include <cstdio>
+
+#include "core/api.hpp"
+#include "util/argparse.hpp"
+#include "util/rng.hpp"
+#include "vision/integral_ops.hpp"
+
+namespace {
+
+/// Synthesizes a "scanned page": bright paper with a strong diagonal
+/// illumination falloff, noise, and dark glyph strokes.
+sat::Matrix<float> make_page(std::size_t n, std::uint64_t seed,
+                             sat::Matrix<std::uint8_t>& truth) {
+  sat::Matrix<float> img(n, n);
+  truth = sat::Matrix<std::uint8_t>(n, n, 0);
+  satutil::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      const double light = 0.95 - 0.70 * double(i + j) / double(2 * n);
+      img(i, j) = float(light + 0.03 * (rng.next_double() - 0.5));
+    }
+  // Glyph strokes: horizontal "text lines" with gaps.
+  for (std::size_t line = 0; line < n / 32; ++line) {
+    const std::size_t r0 = 16 + line * 32;
+    for (std::size_t j = 8; j + 8 < n; ++j) {
+      if ((j / 12) % 3 == 2) continue;  // word gaps
+      for (std::size_t di = 0; di < 4; ++di) {
+        img(r0 + di, j) *= 0.35f;
+        truth(r0 + di, j) = 1;
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  satutil::ArgParser args("document_binarization",
+                          "Sauvola adaptive thresholding from integral images");
+  args.add("n", "256", "page side").add("radius", "12", "window radius");
+  if (!args.parse(argc, argv)) return 1;
+  const auto n = static_cast<std::size_t>(args.get_int("n"));
+  const auto radius = static_cast<std::size_t>(args.get_int("radius"));
+
+  sat::Matrix<std::uint8_t> truth;
+  const auto page = make_page(n, 3, truth);
+  const auto mom = satvision::MomentTables::build(page);
+  const auto bin = satvision::adaptive_threshold(page, mom, radius, 0.2, 0.5);
+
+  // Global-threshold baseline for contrast: best single threshold.
+  double best_global_f1 = 0;
+  for (double thr = 0.1; thr < 1.0; thr += 0.05) {
+    std::size_t tp = 0, fp = 0, fn = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        const bool pred = page(i, j) < thr;
+        if (pred && truth(i, j)) ++tp;
+        if (pred && !truth(i, j)) ++fp;
+        if (!pred && truth(i, j)) ++fn;
+      }
+    if (tp == 0) continue;
+    const double p = double(tp) / double(tp + fp);
+    const double r = double(tp) / double(tp + fn);
+    best_global_f1 = std::max(best_global_f1, 2 * p * r / (p + r));
+  }
+
+  std::size_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (bin(i, j) && truth(i, j)) ++tp;
+      if (bin(i, j) && !truth(i, j)) ++fp;
+      if (!bin(i, j) && truth(i, j)) ++fn;
+    }
+  const double precision = double(tp) / double(tp + fp);
+  const double recall = double(tp) / double(tp + fn);
+  const double f1 = 2 * precision * recall / (precision + recall);
+
+  std::printf("page %zux%zu with a 0.95→0.25 illumination falloff\n", n, n);
+  std::printf("adaptive (Sauvola, radius %zu): precision %.3f, recall %.3f, "
+              "F1 %.3f\n",
+              radius, precision, recall, f1);
+  std::printf("best GLOBAL threshold baseline:                          "
+              "F1 %.3f\n",
+              best_global_f1);
+  std::printf("adaptive %s the global baseline — the O(1) local statistics "
+              "from the integral images are what make this cheap.\n",
+              f1 > best_global_f1 ? "beats" : "DOES NOT BEAT");
+  return f1 > 0.9 && f1 > best_global_f1 ? 0 : 1;
+}

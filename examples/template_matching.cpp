@@ -1,0 +1,67 @@
+// Template matching with zero-mean normalized cross-correlation (ZNCC),
+// SAT-accelerated: window means and variances come from integral images in
+// O(1) per candidate — the classic vision workload the paper's SAT speeds
+// up.
+//
+// The demo hides three copies of a template in a noisy scene (one exact,
+// one brightness-shifted, one contrast-stretched), then recovers all three.
+//
+//   ./template_matching [--n 256] [--t 16]
+#include <cstdio>
+
+#include "core/api.hpp"
+#include "util/argparse.hpp"
+#include "util/rng.hpp"
+#include "vision/match.hpp"
+
+int main(int argc, char** argv) {
+  satutil::ArgParser args("template_matching",
+                          "ZNCC template matching via integral images");
+  args.add("n", "256", "scene side").add("t", "16", "template side");
+  if (!args.parse(argc, argv)) return 1;
+  const auto n = static_cast<std::size_t>(args.get_int("n"));
+  const auto ts = static_cast<std::size_t>(args.get_int("t"));
+
+  // A distinctive template: concentric rings.
+  sat::Matrix<float> templ(ts, ts);
+  for (std::size_t i = 0; i < ts; ++i)
+    for (std::size_t j = 0; j < ts; ++j) {
+      const double di = double(i) - double(ts) / 2, dj = double(j) - double(ts) / 2;
+      templ(i, j) = 0.5f + 0.5f * float(std::cos(std::sqrt(di * di + dj * dj)));
+    }
+
+  auto scene = sat::Matrix<float>::random(n, n, 11, 0.0f, 0.6f);
+  struct Plant {
+    std::size_t r, c;
+    float scale, offset;
+    const char* what;
+  };
+  const Plant plants[] = {{n / 8, n / 6, 1.0f, 0.0f, "exact copy"},
+                          {n / 2, 2 * n / 3, 1.0f, 0.3f, "brightness-shifted"},
+                          {3 * n / 4, n / 5, 2.0f, -0.2f, "contrast-stretched"}};
+  for (const Plant& p : plants)
+    for (std::size_t i = 0; i < ts; ++i)
+      for (std::size_t j = 0; j < ts; ++j)
+        scene(p.r + i, p.c + j) = p.scale * templ(i, j) + p.offset;
+
+  std::printf("scene %zux%zu, template %zux%zu, 3 planted instances "
+              "(ZNCC is invariant to the intensity transforms)\n\n",
+              n, n, ts, ts);
+  const auto matches = satvision::match_template(scene, templ, 3);
+
+  int found = 0;
+  for (const auto& m : matches) {
+    const Plant* hit = nullptr;
+    for (const Plant& p : plants) {
+      const auto dr = m.row > p.r ? m.row - p.r : p.r - m.row;
+      const auto dc = m.col > p.c ? m.col - p.c : p.c - m.col;
+      if (dr <= 1 && dc <= 1) hit = &p;
+    }
+    std::printf("  match at (%4zu, %4zu), zncc = %.4f  %s%s\n", m.row, m.col,
+                m.score, hit ? "<- " : "(spurious)",
+                hit ? hit->what : "");
+    found += hit != nullptr;
+  }
+  std::printf("\nrecovered %d of 3 planted instances\n", found);
+  return found == 3 ? 0 : 1;
+}

@@ -1,0 +1,124 @@
+// The satlib public API.
+//
+//   sat::Matrix<float> img = ...;                      // n×n input
+//   sat::Result<float> r = sat::compute_sat(img);      // SAT + run stats
+//   float s = sat::region_sum(r.table, {r0, c0, r1, c1});
+//
+// `compute_sat` executes one of the paper's algorithms on the simulated GPU
+// (default: the paper's 1R1W-SKSS-LB) or, with Backend::kCpu, on the host.
+// The returned statistics expose exactly what the paper measures: kernel
+// calls, global-memory traffic, and the modeled TITAN V running time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/matrix.hpp"
+#include "core/region.hpp"
+#include "gpusim/gpusim.hpp"
+#include "sat/params.hpp"
+#include "sat/registry.hpp"
+
+namespace sat {
+
+enum class Backend {
+  kSimulatedGpu,  ///< run a paper algorithm on the gpusim device
+  kCpu,           ///< run the multithreaded host implementation
+};
+
+/// Options for compute_sat. Defaults reproduce the paper's best
+/// configuration (1R1W-SKSS-LB, W = 128, 1024-thread blocks, diagonal
+/// shared-memory arrangement).
+struct Options {
+  Backend backend = Backend::kSimulatedGpu;
+  satalgo::Algorithm algorithm = satalgo::Algorithm::kSkssLb;
+  std::size_t tile_w = 128;
+  int threads_per_block = 1024;
+  gpusim::SharedArrangement arrangement = gpusim::SharedArrangement::Diagonal;
+  gpusim::AssignmentOrder order = gpusim::AssignmentOrder::Natural;
+  std::uint64_t seed = 0;
+  double hybrid_r = 0.25;
+  gpusim::DeviceConfig device = gpusim::DeviceConfig::titan_v();
+
+  /// CPU backend: worker threads (0 = hardware concurrency).
+  std::size_t cpu_threads = 0;
+};
+
+/// Run statistics (simulated-GPU backend; zeros for the CPU backend except
+/// wall_time_available).
+struct Stats {
+  std::string algorithm;
+  /// Side of the square, tile-aligned matrix the kernels actually ran on.
+  /// Equals the input side when it is already square and a multiple of the
+  /// tile width; otherwise the input was zero-padded (zero padding on the
+  /// bottom/right does not change any SAT entry in the original region) and
+  /// the traffic counters below refer to the padded size.
+  std::size_t padded_n = 0;
+  std::size_t kernel_calls = 0;
+  std::size_t max_threads = 0;
+  std::uint64_t element_reads = 0;
+  std::uint64_t element_writes = 0;
+  std::uint64_t global_read_sectors = 0;
+  std::uint64_t global_write_sectors = 0;
+  std::uint64_t atomic_ops = 0;
+  std::uint64_t flag_reads = 0;
+  std::uint64_t flag_writes = 0;
+  std::size_t max_lookback_depth = 0;
+  double critical_path_us = 0.0;
+};
+
+template <class T>
+struct Result {
+  Matrix<T> table;
+  Stats stats;
+};
+
+/// Computes the summed area table of `input`. Any non-empty shape is
+/// accepted: the simulated-GPU backend zero-pads to a square multiple of
+/// the tile width internally (the paper's setting) and crops the result;
+/// the CPU backend runs the exact shape.
+///
+/// Throws satutil::CheckError on precondition violations and
+/// gpusim::SimError on simulator-detected failures.
+template <class T>
+Result<T> compute_sat(const Matrix<T>& input, const Options& opts = {});
+
+/// Result of a batched computation: per-image tables plus the single
+/// launch's statistics.
+template <class T>
+struct BatchResult {
+  std::vector<Matrix<T>> tables;
+  Stats stats;
+};
+
+/// Computes the SATs of a batch of equally-shaped matrices in ONE simulated
+/// kernel launch (batched 1R1W-SKSS-LB). This is the fix for the paper's
+/// small-matrix underutilization: a single 256² image offers only a handful
+/// of blocks to the 80-SM device, but a batch of them saturates it —
+/// bench_batch quantifies the effect.
+template <class T>
+BatchResult<T> compute_sat_batch(const std::vector<Matrix<T>>& inputs,
+                                 const Options& opts = {});
+
+/// Device-wide inclusive prefix sum of a 1-D array using the
+/// Merrill–Garland single-pass look-back scan [10,11] on the simulated GPU.
+template <class T>
+std::vector<T> inclusive_scan(const std::vector<T>& values,
+                              const Options& opts = {});
+
+/// Picks the fastest (algorithm, tile width) for a rows×cols workload by
+/// pricing the candidates with the performance model on the configured
+/// device (count-only runs; a few milliseconds of host time). Returns a
+/// copy of `base` with algorithm/tile_w replaced by the winner.
+Options auto_tune(std::size_t rows, std::size_t cols, const Options& base = {});
+
+/// Validates that `table` is the SAT of `input` (exact for integral T,
+/// relative-tolerance for floating T). Returns the first mismatch message
+/// or std::nullopt when valid.
+template <class T>
+std::optional<std::string> validate_sat(const Matrix<T>& input,
+                                        const Matrix<T>& table,
+                                        double rel_tol = 1e-4);
+
+}  // namespace sat

@@ -1,0 +1,48 @@
+// Region-sum queries over a computed SAT — the operation the SAT exists
+// for: the sum of any axis-aligned rectangle in O(1) from four table
+// entries (§I-A).
+#pragma once
+
+#include <cstddef>
+
+#include "core/matrix.hpp"
+#include "util/check.hpp"
+
+namespace sat {
+
+/// A half-open rectangle of matrix cells: rows [r0, r1), columns [c0, c1).
+struct Rect {
+  std::size_t r0 = 0;
+  std::size_t c0 = 0;
+  std::size_t r1 = 0;
+  std::size_t c1 = 0;
+
+  [[nodiscard]] std::size_t area() const { return (r1 - r0) * (c1 - c0); }
+};
+
+/// Sum of `rect` in the original matrix, evaluated on its SAT `table`:
+///   Σ = b[r1−1][c1−1] − b[r0−1][c1−1] − b[r1−1][c0−1] + b[r0−1][c0−1].
+template <class T>
+[[nodiscard]] T region_sum(const Matrix<T>& table, const Rect& rect) {
+  SAT_CHECK_MSG(rect.r0 <= rect.r1 && rect.c0 <= rect.c1 &&
+                    rect.r1 <= table.rows() && rect.c1 <= table.cols(),
+                "rectangle [" << rect.r0 << "," << rect.r1 << ")x[" << rect.c0
+                              << "," << rect.c1 << ") out of bounds for "
+                              << table.rows() << "x" << table.cols());
+  if (rect.r0 == rect.r1 || rect.c0 == rect.c1) return T{};
+  T sum = table(rect.r1 - 1, rect.c1 - 1);
+  if (rect.r0 > 0) sum -= table(rect.r0 - 1, rect.c1 - 1);
+  if (rect.c0 > 0) sum -= table(rect.r1 - 1, rect.c0 - 1);
+  if (rect.r0 > 0 && rect.c0 > 0) sum += table(rect.r0 - 1, rect.c0 - 1);
+  return sum;
+}
+
+/// Mean of `rect` (box-filter building block); requires a non-empty rect.
+template <class T>
+[[nodiscard]] double region_mean(const Matrix<T>& table, const Rect& rect) {
+  SAT_CHECK(rect.area() > 0);
+  return static_cast<double>(region_sum(table, rect)) /
+         static_cast<double>(rect.area());
+}
+
+}  // namespace sat

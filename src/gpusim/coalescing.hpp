@@ -1,0 +1,50 @@
+// Transaction (sector) arithmetic for global-memory access patterns.
+//
+// A warp access is serviced in 32-byte sectors. These helpers compute how
+// many sectors a given access pattern touches — the quantity the paper's
+// optimality argument is phrased in ("one read and one write operation per
+// element").
+#pragma once
+
+#include <cstddef>
+
+#include "util/check.hpp"
+
+namespace gpusim {
+
+/// Sectors covering `count` contiguous elements of `elem_bytes` starting at
+/// an element offset `start_elems` from an aligned base (coalesced access).
+[[nodiscard]] constexpr std::size_t sectors_contiguous(
+    std::size_t count, std::size_t elem_bytes, std::size_t sector_bytes = 32,
+    std::size_t start_elems = 0) {
+  if (count == 0) return 0;
+  const std::size_t first_byte = start_elems * elem_bytes;
+  const std::size_t last_byte = (start_elems + count) * elem_bytes - 1;
+  return last_byte / sector_bytes - first_byte / sector_bytes + 1;
+}
+
+/// Sectors touched when a warp of `lanes` threads accesses `lanes` elements
+/// with a fixed stride of `stride_elems` elements between lanes (strided /
+/// column access). Each lane's element lands in its own sector whenever the
+/// stride exceeds the sector, which is the 2R2W row-pass pathology.
+[[nodiscard]] constexpr std::size_t sectors_strided(
+    std::size_t lanes, std::size_t stride_elems, std::size_t elem_bytes,
+    std::size_t sector_bytes = 32) {
+  if (lanes == 0) return 0;
+  const std::size_t stride_bytes = stride_elems * elem_bytes;
+  if (stride_bytes >= sector_bytes) return lanes;  // one sector per lane
+  if (stride_bytes == 0) return 1;
+  // Partially overlapping small strides: span ÷ sector size.
+  const std::size_t span = (lanes - 1) * stride_bytes + elem_bytes;
+  return (span + sector_bytes - 1) / sector_bytes;
+}
+
+/// Elements of `elem_bytes` that share one sector (L2-reuse factor for a
+/// per-thread sequential walk over contiguous elements).
+[[nodiscard]] constexpr std::size_t elems_per_sector(
+    std::size_t elem_bytes, std::size_t sector_bytes = 32) {
+  SAT_DCHECK(elem_bytes > 0 && elem_bytes <= sector_bytes);
+  return sector_bytes / elem_bytes;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,75 @@
+// Simulated-time cost parameters.
+//
+// The scheduler advances each block's clock by these weights as the block
+// performs work. The weights are *per resident block slot*: a global-memory
+// sector costs the slot its fair share of device bandwidth, so when all
+// slots are busy the kernel critical path approaches total-traffic ÷
+// device-bandwidth, and when few blocks exist the critical path exposes the
+// paper's small-matrix underutilization regime.
+//
+// `SimCostParams::for_device` derives defaults from a DeviceConfig; the
+// model module (src/model) re-derives them with the calibration described in
+// DESIGN.md §2.
+#pragma once
+
+#include <algorithm>
+
+#include "gpusim/device.hpp"
+
+namespace gpusim {
+
+struct SimCostParams {
+  double us_per_read_sector = 0.0;    ///< per 32 B global load, per block slot
+  double us_per_write_sector = 0.0;   ///< per 32 B global store, per block slot
+  double us_per_l2_sector = 0.0;      ///< per 32 B transaction served by L2
+  double us_per_shared_cycle = 0.0;   ///< per warp-serialized shared access
+  double us_per_warp_alu = 0.0;       ///< per 32-wide vector ALU op
+  double us_per_shfl = 0.0;           ///< per warp shuffle
+  double us_per_sync = 0.0;           ///< per __syncthreads()
+  double us_per_atomic = 0.0;         ///< per global atomicAdd
+  double us_per_flag_read = 0.0;      ///< per acquire-read of a status cell
+  double us_wait_discovery = 0.0;     ///< spin-poll round trip: delay between
+                                      ///< a flag publish and a parked
+                                      ///< waiter's resume
+  double us_per_flag_write = 0.0;     ///< per release-write of a status cell
+  double block_start_us = 0.0;        ///< block dispatch overhead
+  double kernel_launch_us = 0.0;      ///< per kernel invocation (host side)
+
+  /// Derives slot-fair-share costs for a device assuming `ref_blocks_per_sm`
+  /// resident blocks per SM at full occupancy.
+  [[nodiscard]] static SimCostParams for_device(const DeviceConfig& d,
+                                                int ref_blocks_per_sm = 2) {
+    SimCostParams p;
+    // Fair bandwidth share of one slot: BW / (SMs × blocks_per_SM).
+    const double slots =
+        static_cast<double>(d.num_sms) * static_cast<double>(ref_blocks_per_sm);
+    const double bytes_per_us = d.mem_bandwidth_gbps * 1e3;  // GB/s → B/µs
+    const double us_per_sector =
+        static_cast<double>(d.sector_bytes) / (bytes_per_us / slots);
+    p.us_per_read_sector = us_per_sector;
+    p.us_per_write_sector = us_per_sector;
+    p.us_per_l2_sector =
+        static_cast<double>(d.sector_bytes) /
+        (std::min(d.l2_bandwidth_gbps / slots, d.sm_l2_peak_gbps) * 1e3);
+    // Shared-memory and ALU work overlaps with the memory pipeline (warps
+    // stalled on global loads leave issue slots for compute warps), so only
+    // a fraction of those cycles lengthens the block's critical path.
+    constexpr double kComputeOverlap = 0.25;
+    const double us_per_cycle = kComputeOverlap * 1e-3 / d.core_clock_ghz;
+    p.us_per_shared_cycle = us_per_cycle;
+    p.us_per_warp_alu = us_per_cycle;
+    p.us_per_shfl = us_per_cycle;
+    p.us_per_sync = 20 * us_per_cycle;
+    // Atomics and flag traffic go through L2: ~a few hundred cycles latency,
+    // heavily pipelined; charge an L2 round-trip share.
+    p.us_per_atomic = 0.05;
+    p.us_per_flag_read = 0.02;
+    p.us_per_flag_write = 0.02;
+    p.us_wait_discovery = 1.0;
+    p.block_start_us = 0.3;
+    p.kernel_launch_us = 4.0;
+    return p;
+  }
+};
+
+}  // namespace gpusim

@@ -1,0 +1,115 @@
+// Event counters collected during simulation.
+//
+// These are the ground truth the performance model consumes; Table I of the
+// paper is regenerated directly from them. `sectors` are device transactions
+// at the DRAM sector granularity (32 bytes); `dram_sectors` additionally
+// models L2 reuse for per-thread sequential strided walks (each sector is
+// fetched from DRAM once even though the warp re-touches it on consecutive
+// iterations). For coalesced access the two are equal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpusim {
+
+struct Counters {
+  // Global memory traffic.
+  std::uint64_t global_bytes_read = 0;      ///< useful payload bytes
+  std::uint64_t global_bytes_written = 0;   ///< useful payload bytes
+  std::uint64_t global_read_sectors = 0;    ///< issued 32 B transactions
+  std::uint64_t global_write_sectors = 0;
+  std::uint64_t dram_read_sectors = 0;      ///< after modeled L2 reuse
+  std::uint64_t dram_write_sectors = 0;
+
+  // Element-level accounting (the paper counts "read/write operations per
+  // element"; Table I is expressed in these units).
+  std::uint64_t element_reads = 0;
+  std::uint64_t element_writes = 0;
+
+  // Soft-synchronization machinery.
+  std::uint64_t atomic_ops = 0;
+  std::uint64_t flag_reads = 0;      ///< successful acquire-reads of a status cell
+  std::uint64_t flag_polls = 0;      ///< failed polls while spinning
+  std::uint64_t flag_writes = 0;
+
+  // Intra-block machinery.
+  std::uint64_t shared_cycles = 0;          ///< warp-serialized shared accesses
+  std::uint64_t shared_conflict_cycles = 0; ///< extra cycles from bank conflicts
+  std::uint64_t shfl_ops = 0;
+  std::uint64_t warp_alu_ops = 0;
+  std::uint64_t syncthreads = 0;
+
+  Counters& operator+=(const Counters& o) {
+    global_bytes_read += o.global_bytes_read;
+    global_bytes_written += o.global_bytes_written;
+    global_read_sectors += o.global_read_sectors;
+    global_write_sectors += o.global_write_sectors;
+    dram_read_sectors += o.dram_read_sectors;
+    dram_write_sectors += o.dram_write_sectors;
+    element_reads += o.element_reads;
+    element_writes += o.element_writes;
+    atomic_ops += o.atomic_ops;
+    flag_reads += o.flag_reads;
+    flag_polls += o.flag_polls;
+    flag_writes += o.flag_writes;
+    shared_cycles += o.shared_cycles;
+    shared_conflict_cycles += o.shared_conflict_cycles;
+    shfl_ops += o.shfl_ops;
+    warp_alu_ops += o.warp_alu_ops;
+    syncthreads += o.syncthreads;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t total_sectors() const {
+    return global_read_sectors + global_write_sectors;
+  }
+  [[nodiscard]] std::uint64_t total_dram_sectors() const {
+    return dram_read_sectors + dram_write_sectors;
+  }
+};
+
+/// One block's simulated timeline (see KernelReport::trace).
+struct BlockTraceEntry {
+  std::size_t logical_block = 0;
+  double start_us = 0.0;
+  double finish_us = 0.0;
+  double wait_us = 0.0;
+};
+
+/// Everything the performance model needs to price one kernel launch.
+struct KernelReport {
+  std::string name;
+  std::size_t grid_blocks = 0;
+  int threads_per_block = 0;
+  std::size_t shared_bytes_per_block = 0;
+
+  /// Resident-block capacity the device offered this block shape.
+  std::size_t resident_limit = 0;
+  /// min(grid, resident_limit): blocks that could run concurrently.
+  std::size_t max_concurrent_blocks = 0;
+
+  Counters counters;
+
+  /// Simulated time (µs) at which the last block finished — the kernel's
+  /// critical path through dependencies and residency-slot contention.
+  double critical_path_us = 0.0;
+  /// Sum of per-block busy time (µs); critical_path × slots ÷ this ≈ slack.
+  double sum_block_busy_us = 0.0;
+  /// Total simulated µs blocks spent waiting on soft-sync flags.
+  double sum_block_wait_us = 0.0;
+
+  /// Maximum number of status cells one block walked in a look-back before
+  /// hitting a published inclusive prefix (0 when the kernel does no
+  /// look-back). Bounds the LB overhead; reported by bench_ablation_lookback.
+  std::size_t max_lookback_depth = 0;
+
+  /// Per-block timeline, recorded when LaunchConfig::record_trace is set
+  /// (ordered by completion). Start excludes the block-dispatch overhead;
+  /// wait is the simulated time spent stalled on status flags.
+  std::vector<BlockTraceEntry> trace;
+};
+
+}  // namespace gpusim

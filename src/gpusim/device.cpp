@@ -1,0 +1,74 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+
+#include "gpusim/errors.hpp"
+#include "util/check.hpp"
+
+namespace gpusim {
+
+int DeviceConfig::blocks_per_sm(int threads, std::size_t shared_bytes) const {
+  if (threads <= 0 || threads > max_threads_per_block) {
+    throw ResourceError("block of " + std::to_string(threads) +
+                        " threads exceeds device limit of " +
+                        std::to_string(max_threads_per_block));
+  }
+  if (shared_bytes > shared_mem_per_block) {
+    throw ResourceError("block requests " + std::to_string(shared_bytes) +
+                        " bytes of shared memory; device limit is " +
+                        std::to_string(shared_mem_per_block));
+  }
+  int by_threads = max_threads_per_sm / threads;
+  int by_shared = shared_bytes == 0
+                      ? max_blocks_per_sm
+                      : static_cast<int>(shared_mem_per_sm / shared_bytes);
+  int blocks = std::min({by_threads, by_shared, max_blocks_per_sm});
+  SAT_CHECK_MSG(blocks >= 1, "block shape fits per-block limits but not an SM");
+  return blocks;
+}
+
+std::size_t DeviceConfig::resident_block_limit(
+    int threads, std::size_t shared_bytes) const {
+  return static_cast<std::size_t>(num_sms) *
+         static_cast<std::size_t>(blocks_per_sm(threads, shared_bytes));
+}
+
+DeviceConfig DeviceConfig::titan_v() { return DeviceConfig{}; }
+
+DeviceConfig DeviceConfig::mobile_class() {
+  DeviceConfig d;
+  d.name = "mobile-class GPU (simulated)";
+  d.num_sms = 20;
+  d.mem_bandwidth_gbps = 160.0;
+  d.effective_bandwidth_gbps = 140.0;
+  d.sm_peak_bandwidth_gbps = 12.0;
+  d.l2_bandwidth_gbps = 600.0;
+  d.core_clock_ghz = 1.2;
+  d.global_mem_bytes = 4ull * 1024 * 1024 * 1024;
+  return d;
+}
+
+DeviceConfig DeviceConfig::hbm_class() {
+  DeviceConfig d;
+  d.name = "HBM-class GPU (simulated)";
+  d.num_sms = 108;
+  d.mem_bandwidth_gbps = 1555.0;
+  d.effective_bandwidth_gbps = 1400.0;
+  d.sm_peak_bandwidth_gbps = 28.0;
+  d.l2_bandwidth_gbps = 4500.0;
+  d.core_clock_ghz = 1.41;
+  d.global_mem_bytes = 40ull * 1024 * 1024 * 1024;
+  return d;
+}
+
+DeviceConfig DeviceConfig::tiny(int sms, int blocks_per_sm_count) {
+  DeviceConfig d;
+  d.name = "tiny test device";
+  d.num_sms = sms;
+  d.max_blocks_per_sm = blocks_per_sm_count;
+  d.max_threads_per_sm = d.max_threads_per_block * blocks_per_sm_count;
+  d.shared_mem_per_sm = d.shared_mem_per_block * blocks_per_sm_count;
+  return d;
+}
+
+}  // namespace gpusim

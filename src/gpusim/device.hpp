@@ -1,0 +1,63 @@
+// Device description: the static hardware parameters of the simulated GPU.
+//
+// The defaults model the NVIDIA TITAN V (GV100) used in the paper's
+// evaluation: 80 SMs × 64 cores, 652.8 GB/s HBM2, 12 GiB global memory,
+// up to 96 KiB shared memory per block.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gpusim {
+
+struct DeviceConfig {
+  std::string name = "TITAN V (simulated)";
+
+  int num_sms = 80;
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 32;
+  std::size_t shared_mem_per_block = 96 * 1024;  // opt-in maximum on Volta
+  std::size_t shared_mem_per_sm = 96 * 1024;
+  std::size_t global_mem_bytes = 12ull * 1024 * 1024 * 1024;
+
+  /// DRAM sector size: the granularity of a global-memory transaction.
+  std::size_t sector_bytes = 32;
+
+  double core_clock_ghz = 1.455;
+  double mem_bandwidth_gbps = 652.8;  // theoretical peak
+  /// Achievable device bandwidth (cudaMemcpy-grade streaming, ~90 % of peak).
+  double effective_bandwidth_gbps = 585.0;
+  /// Memory bandwidth a single SM can pull on its own (limited by its
+  /// in-flight request capacity) — caps per-block speedup at low occupancy.
+  double sm_peak_bandwidth_gbps = 20.0;
+  /// Aggregate L2 bandwidth; strided walks re-touch sectors that hit in L2
+  /// rather than DRAM, so their extra issued transactions are priced here.
+  double l2_bandwidth_gbps = 2155.0;
+  /// L2 bandwidth one block can pull on its own.
+  double sm_l2_peak_gbps = 30.0;
+
+  /// Blocks of `threads` threads and `shared_bytes` shared memory that can be
+  /// resident on one SM simultaneously (the CUDA occupancy rule set).
+  [[nodiscard]] int blocks_per_sm(int threads, std::size_t shared_bytes) const;
+
+  /// Total resident-block capacity of the device for the given block shape.
+  [[nodiscard]] std::size_t resident_block_limit(
+      int threads, std::size_t shared_bytes) const;
+
+  /// The paper's reference device.
+  [[nodiscard]] static DeviceConfig titan_v();
+
+  /// A deliberately tiny device (2 SMs, 4 resident blocks) used by tests to
+  /// exercise residency-limited scheduling and deadlock detection cheaply.
+  [[nodiscard]] static DeviceConfig tiny(int sms = 2, int blocks_per_sm = 2);
+
+  /// Sensitivity-analysis presets (approximate public specs; used by
+  /// bench_devices to check that the paper's conclusions are not TITAN V
+  /// artifacts — they are NOT validated against those GPUs).
+  [[nodiscard]] static DeviceConfig mobile_class();  ///< 20 SM, 160 GB/s
+  [[nodiscard]] static DeviceConfig hbm_class();     ///< 108 SM, 1555 GB/s
+};
+
+}  // namespace gpusim

@@ -1,0 +1,45 @@
+// Error types raised by the GPU execution-model simulator.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gpusim {
+
+/// Base class for all simulator errors.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when every resident block is blocked on an unsatisfied wait and no
+/// pending block can be admitted — i.e. the launched kernel can never finish
+/// on real hardware either. Carries a human-readable dump of who waits on
+/// what, so tests can assert on the diagnosis.
+class DeadlockError : public SimError {
+ public:
+  explicit DeadlockError(const std::string& what) : SimError(what) {}
+};
+
+/// Raised when a kernel requests more resources than the device has
+/// (shared memory per block, threads per block, global memory capacity).
+class ResourceError : public SimError {
+ public:
+  explicit ResourceError(const std::string& what) : SimError(what) {}
+};
+
+/// Raised when a block body throws; wraps the original message with the
+/// block id for diagnosis.
+class BlockError : public SimError {
+ public:
+  explicit BlockError(const std::string& what) : SimError(what) {}
+};
+
+/// Raised on protocol violations of the soft-synchronization status cells
+/// (non-monotonic flag write, read of an unpublished payload, ...).
+class ProtocolError : public SimError {
+ public:
+  explicit ProtocolError(const std::string& what) : SimError(what) {}
+};
+
+}  // namespace gpusim

@@ -1,0 +1,89 @@
+// Soft-synchronization state: status-flag arrays and global atomics.
+//
+// A StatusArray models the per-tile 8-bit status bytes the paper's SKSS and
+// look-back techniques communicate through. Each cell carries, besides its
+// value, the simulated time at which that value was published — a reader
+// that waits for `value >= v` has its clock advanced to the publish time,
+// which is how inter-block dependencies enter the kernel's critical path.
+//
+// Cells are monotonic by protocol (1 → 2 → 3 → 4); writes that would
+// decrease a cell raise ProtocolError, which the failure-injection tests
+// rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/errors.hpp"
+#include "util/check.hpp"
+
+namespace gpusim {
+
+class StatusArray {
+ public:
+  struct Cell {
+    std::uint8_t value = 0;
+    double publish_us = 0.0;
+  };
+
+  StatusArray(std::string name, std::size_t count)
+      : name_(std::move(name)), cells_(count) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+  [[nodiscard]] const Cell& cell(std::size_t idx) const {
+    SAT_DCHECK(idx < cells_.size());
+    return cells_[idx];
+  }
+
+  /// Publishes `value` at simulated time `now_us`. Values must not decrease.
+  void publish(std::size_t idx, std::uint8_t value, double now_us) {
+    SAT_DCHECK(idx < cells_.size());
+    Cell& c = cells_[idx];
+    if (value < c.value) {
+      throw ProtocolError("status array '" + name_ + "' cell " +
+                          std::to_string(idx) + ": non-monotonic write " +
+                          std::to_string(int(c.value)) + " -> " +
+                          std::to_string(int(value)));
+    }
+    c.value = value;
+    c.publish_us = now_us;
+  }
+
+  /// Test hook: corrupt a cell, bypassing the monotonicity check.
+  void corrupt_for_test(std::size_t idx, std::uint8_t value) {
+    cells_[idx].value = value;
+  }
+
+  void reset() {
+    for (Cell& c : cells_) c = Cell{};
+  }
+
+ private:
+  std::string name_;
+  std::vector<Cell> cells_;
+};
+
+/// A 32-bit global counter incremented with atomicAdd — the work-assignment
+/// mechanism of the SKSS algorithms.
+class GlobalAtomicU32 {
+ public:
+  explicit GlobalAtomicU32(std::uint32_t initial = 0) : value_(initial) {}
+
+  /// Exclusive fetch-and-add; returns the pre-increment value.
+  std::uint32_t fetch_add(std::uint32_t delta = 1) {
+    const std::uint32_t old = value_;
+    value_ += delta;
+    return old;
+  }
+
+  [[nodiscard]] std::uint32_t load() const { return value_; }
+  void store(std::uint32_t v) { value_ = v; }
+
+ private:
+  std::uint32_t value_;
+};
+
+}  // namespace gpusim

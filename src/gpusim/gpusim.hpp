@@ -1,0 +1,17 @@
+// Umbrella header for the GPU execution-model simulator.
+#pragma once
+
+#include "gpusim/block.hpp"      // IWYU pragma: export
+#include "gpusim/coalescing.hpp" // IWYU pragma: export
+#include "gpusim/cost.hpp"       // IWYU pragma: export
+#include "gpusim/counters.hpp"   // IWYU pragma: export
+#include "gpusim/device.hpp"     // IWYU pragma: export
+#include "gpusim/errors.hpp"     // IWYU pragma: export
+#include "gpusim/flags.hpp"      // IWYU pragma: export
+#include "gpusim/kernel.hpp"     // IWYU pragma: export
+#include "gpusim/memory.hpp"     // IWYU pragma: export
+#include "gpusim/shared.hpp"     // IWYU pragma: export
+#include "gpusim/sim.hpp"        // IWYU pragma: export
+#include "gpusim/task.hpp"       // IWYU pragma: export
+#include "gpusim/trace_analysis.hpp"  // IWYU pragma: export
+#include "gpusim/warp.hpp"       // IWYU pragma: export

@@ -1,0 +1,281 @@
+#include "gpusim/kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "gpusim/errors.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpusim {
+
+const char* to_string(AssignmentOrder order) {
+  switch (order) {
+    case AssignmentOrder::Natural: return "natural";
+    case AssignmentOrder::Reversed: return "reversed";
+    case AssignmentOrder::Strided: return "strided";
+    case AssignmentOrder::Random: return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::size_t> admission_order(const LaunchConfig& cfg) {
+  std::vector<std::size_t> order(cfg.grid_blocks);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  switch (cfg.order) {
+    case AssignmentOrder::Natural:
+      break;
+    case AssignmentOrder::Reversed:
+      std::reverse(order.begin(), order.end());
+      break;
+    case AssignmentOrder::Strided: {
+      // Interleave: 0, s, 2s, ..., 1, s+1, ... with a cache-hostile stride.
+      const std::size_t stride = std::max<std::size_t>(cfg.grid_blocks / 8, 1);
+      std::vector<std::size_t> out;
+      out.reserve(cfg.grid_blocks);
+      for (std::size_t phase = 0; phase < stride; ++phase)
+        for (std::size_t b = phase; b < cfg.grid_blocks; b += stride)
+          out.push_back(b);
+      order = std::move(out);
+      break;
+    }
+    case AssignmentOrder::Random: {
+      satutil::Rng rng(cfg.seed ^ 0x5eedf00dULL);
+      for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.next_below(i)]);
+      break;
+    }
+  }
+  return order;
+}
+
+struct ResidentBlock {
+  std::unique_ptr<BlockCtx> ctx;
+  BlockTask task;
+  std::size_t logical_block = 0;
+  bool parked = false;
+  bool done = false;
+};
+
+/// The discrete-event block scheduler.
+///
+/// Invariant: every live block is in exactly one place — the run heap
+/// (runnable at a known simulated time), the waiters map (parked on a status
+/// cell), or finished. The next event is always the runnable block with the
+/// smallest clock; a published flag moves satisfied waiters back to the heap
+/// stamped with the publish time, so simulated time is globally consistent
+/// across blocks (no round-robin ordering artifacts).
+class Scheduler final : public FlagPublishHook {
+ public:
+  Scheduler(SimContext& sim, const LaunchConfig& cfg, const KernelBody& body,
+            KernelReport& report, const SimCostParams& cost)
+      : sim_(sim), cfg_(cfg), body_(body), report_(report), cost_(cost),
+        order_(admission_order(cfg)) {}
+
+  void run() {
+    blocks_.reserve(std::min<std::size_t>(cfg_.grid_blocks, 1 << 20));
+    // Fill every slot at t = 0.
+    for (std::size_t s = 0;
+         s < report_.max_concurrent_blocks && next_pending_ < order_.size();
+         ++s) {
+      admit(0.0);
+    }
+    while (!run_heap_.empty()) {
+      const auto [t, bi] = run_heap_.top();
+      run_heap_.pop();
+      step(bi);
+    }
+    if (parked_count_ > 0 || next_pending_ < order_.size()) {
+      throw_deadlock();
+    }
+  }
+
+  void on_flag_publish(const StatusArray& arr, std::size_t idx) override {
+    const auto key = std::make_pair(static_cast<const void*>(&arr), idx);
+    const auto it = waiters_.find(key);
+    if (it == waiters_.end()) return;
+    auto& list = it->second;
+    std::size_t kept = 0;
+    for (std::size_t k = 0; k < list.size(); ++k) {
+      ResidentBlock& w = *blocks_[list[k]];
+      if (w.ctx->wait_satisfied()) {
+        w.ctx->clear_wait();
+        w.parked = false;
+        --parked_count_;
+        // The waiter resumes one poll round-trip after the publish.
+        w.ctx->wake_at(arr.cell(idx).publish_us);
+        run_heap_.emplace(w.ctx->now_us(), list[k]);
+      } else {
+        list[kept++] = list[k];
+      }
+    }
+    list.resize(kept);
+    if (list.empty()) waiters_.erase(it);
+  }
+
+ private:
+  void admit(double start_us) {
+    const std::size_t logical = order_[next_pending_++];
+    auto rec = std::make_unique<ResidentBlock>();
+    rec->ctx = std::make_unique<BlockCtx>(logical, cfg_.threads_per_block,
+                                          cost_, report_.counters, start_us);
+    rec->ctx->set_publish_hook(this);
+    rec->logical_block = logical;
+    rec->task = body_(*rec->ctx, logical);
+    SAT_CHECK_MSG(rec->task.valid(),
+                  "kernel '" << cfg_.name << "' body returned invalid task");
+    blocks_.push_back(std::move(rec));
+    run_heap_.emplace(start_us, blocks_.size() - 1);
+    ++live_count_;
+  }
+
+  void step(std::size_t bi) {
+    ResidentBlock& r = *blocks_[bi];
+    SAT_DCHECK(!r.done && !r.parked);
+    bool finished = false;
+    try {
+      finished = r.task.resume();
+    } catch (const SimError&) {
+      throw;  // already diagnostic
+    } catch (const std::exception& e) {
+      throw BlockError("kernel '" + cfg_.name + "', block " +
+                       std::to_string(r.logical_block) + ": " + e.what());
+    }
+    if (finished) {
+      r.done = true;
+      --live_count_;
+      report_.critical_path_us =
+          std::max(report_.critical_path_us, r.ctx->now_us());
+      report_.sum_block_busy_us +=
+          r.ctx->now_us() - r.ctx->start_us() - r.ctx->wait_us();
+      report_.sum_block_wait_us += r.ctx->wait_us();
+      report_.max_lookback_depth =
+          std::max(report_.max_lookback_depth, r.ctx->max_lookback_depth());
+      if (cfg_.record_trace) {
+        report_.trace.push_back(BlockTraceEntry{
+            r.logical_block, r.ctx->start_us(), r.ctx->now_us(),
+            r.ctx->wait_us()});
+      }
+      // Hand the freed slot to the next pending block.
+      if (next_pending_ < order_.size()) admit(r.ctx->now_us());
+      // Release the coroutine frame and context (1M-tile kernels would
+      // otherwise hold every finished frame alive).
+      blocks_[bi]->task = BlockTask{};
+      blocks_[bi]->ctx.reset();
+      return;
+    }
+    if (r.ctx->is_waiting()) {
+      if (r.ctx->wait_satisfied()) {
+        // Satisfied between suspension setup and now cannot happen in a
+        // single-threaded simulation, but handle it for robustness.
+        r.ctx->clear_wait();
+        run_heap_.emplace(r.ctx->now_us(), bi);
+        return;
+      }
+      r.ctx->count_spin();
+      r.parked = true;
+      ++parked_count_;
+      waiters_[{static_cast<const void*>(r.ctx->wait_array()),
+                r.ctx->wait_index()}]
+          .push_back(bi);
+      return;
+    }
+    // Plain yield: runnable again at the same clock.
+    run_heap_.emplace(r.ctx->now_us(), bi);
+  }
+
+  [[noreturn]] void throw_deadlock() {
+    std::ostringstream os;
+    os << "deadlock in kernel '" << cfg_.name << "' (order "
+       << to_string(cfg_.order) << "): " << parked_count_
+       << " resident block(s) all blocked, "
+       << (order_.size() - next_pending_) << " block(s) pending admission";
+    std::size_t shown = 0;
+    for (const auto& rec : blocks_) {
+      if (rec == nullptr || rec->done || !rec->parked) continue;
+      if (shown++ == 10) {
+        os << "\n  ...";
+        break;
+      }
+      os << "\n  " << rec->ctx->describe_wait();
+    }
+    throw DeadlockError(os.str());
+  }
+
+  SimContext& sim_;
+  const LaunchConfig& cfg_;
+  const KernelBody& body_;
+  KernelReport& report_;
+  const SimCostParams& cost_;
+  const std::vector<std::size_t> order_;
+  std::size_t next_pending_ = 0;
+
+  std::vector<std::unique_ptr<ResidentBlock>> blocks_;
+  // Min-heap of (runnable-at time, block index). Ties broken by index for
+  // determinism (std::pair comparison).
+  std::priority_queue<std::pair<double, std::size_t>,
+                      std::vector<std::pair<double, std::size_t>>,
+                      std::greater<>>
+      run_heap_;
+  std::map<std::pair<const void*, std::size_t>, std::vector<std::size_t>>
+      waiters_;
+  std::size_t parked_count_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace
+
+KernelReport launch_kernel(SimContext& sim, const LaunchConfig& cfg,
+                           const KernelBody& body) {
+  SAT_CHECK_MSG(cfg.grid_blocks > 0, "kernel '" << cfg.name << "': empty grid");
+  const std::size_t resident_limit = sim.device.resident_block_limit(
+      cfg.threads_per_block, cfg.shared_bytes_per_block);
+
+  KernelReport report;
+  report.name = cfg.name;
+  report.grid_blocks = cfg.grid_blocks;
+  report.threads_per_block = cfg.threads_per_block;
+  report.shared_bytes_per_block = cfg.shared_bytes_per_block;
+  report.resident_limit = resident_limit;
+  report.max_concurrent_blocks = std::min(resident_limit, cfg.grid_blocks);
+
+  // Per-kernel bandwidth share: with C concurrent blocks each gets the
+  // device's achievable bandwidth ÷ C, but never more than its SM can pull
+  // divided by the blocks co-resident on that SM. This is what exposes the
+  // paper's small-matrix underutilization (few blocks → latency-bound, not
+  // bandwidth-bound) while full grids aggregate to the device bandwidth.
+  SimCostParams cost = sim.cost;
+  {
+    const auto concurrent = static_cast<double>(report.max_concurrent_blocks);
+    const double bpsm_used =
+        std::ceil(concurrent / static_cast<double>(sim.device.num_sms));
+    const double per_block_gbps =
+        std::min(sim.device.effective_bandwidth_gbps / concurrent,
+                 sim.device.sm_peak_bandwidth_gbps / bpsm_used);
+    const double us_per_sector = static_cast<double>(sim.device.sector_bytes) /
+                                 (per_block_gbps * 1e3);
+    cost.us_per_read_sector = us_per_sector;
+    cost.us_per_write_sector = us_per_sector;
+    const double per_block_l2_gbps =
+        std::min(sim.device.l2_bandwidth_gbps / concurrent,
+                 sim.device.sm_l2_peak_gbps / bpsm_used);
+    cost.us_per_l2_sector = static_cast<double>(sim.device.sector_bytes) /
+                            (per_block_l2_gbps * 1e3);
+  }
+
+  Scheduler scheduler(sim, cfg, body, report, cost);
+  scheduler.run();
+
+  sim.reports.push_back(report);
+  return report;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,55 @@
+// Kernel launch and the residency-limited cooperative block scheduler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "gpusim/block.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/sim.hpp"
+#include "gpusim/task.hpp"
+
+namespace gpusim {
+
+/// The order in which the hardware dispatcher admits pending blocks to free
+/// SM slots. CUDA guarantees nothing, so correct kernels must work for all
+/// of these; the adversarial orders are used by the failure-injection tests.
+enum class AssignmentOrder : std::uint8_t {
+  Natural,   ///< block 0, 1, 2, ... (typical hardware behaviour)
+  Reversed,  ///< last block first — adversarial for naive inter-block waits
+  Strided,   ///< round-robin across a stride (interleaves distant blocks)
+  Random,    ///< seeded shuffle
+};
+
+[[nodiscard]] const char* to_string(AssignmentOrder order);
+
+struct LaunchConfig {
+  std::string name;                  ///< for reports and error messages
+  std::size_t grid_blocks = 1;
+  int threads_per_block = 1024;
+  std::size_t shared_bytes_per_block = 0;
+  AssignmentOrder order = AssignmentOrder::Natural;
+  std::uint64_t seed = 0;            ///< used by AssignmentOrder::Random
+  /// Record a per-block timeline into KernelReport::trace (O(grid) memory).
+  bool record_trace = false;
+};
+
+/// A kernel body: invoked once per block as that block is admitted to an SM
+/// slot; the returned coroutine is driven by the scheduler. `logical_block`
+/// is the CUDA blockIdx (0 ≤ logical_block < grid_blocks) — note this is the
+/// *logical* index even when the admission order is permuted.
+using KernelBody = std::function<BlockTask(BlockCtx&, std::size_t logical_block)>;
+
+/// Launches a kernel: admits blocks to `device.resident_block_limit(...)`
+/// slots in the configured order, round-robins resident blocks fairly, and
+/// propagates timestamps through flag waits. Appends and returns the
+/// kernel's report (also stored in sim.reports).
+///
+/// Throws DeadlockError when no resident block can make progress and no
+/// pending block can be admitted; ResourceError when the block shape does
+/// not fit the device; BlockError when a body throws.
+KernelReport launch_kernel(SimContext& sim, const LaunchConfig& cfg,
+                           const KernelBody& body);
+
+}  // namespace gpusim

@@ -1,0 +1,92 @@
+// GlobalBuffer: a typed allocation in the simulated device's global memory.
+//
+// In materialized mode it owns real element storage (so algorithms compute
+// real SATs that tests validate against the CPU oracle); in count-only mode
+// it owns no storage but still counts against the device's 12 GiB capacity,
+// letting the harness run the paper's 16K²/32K² configurations on a small
+// host.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpusim/sim.hpp"
+#include "util/check.hpp"
+#include "util/span2d.hpp"
+
+namespace gpusim {
+
+template <class T>
+class GlobalBuffer {
+ public:
+  GlobalBuffer(SimContext& sim, std::size_t count, std::string name)
+      : sim_(&sim), count_(count), name_(std::move(name)) {
+    sim_->on_alloc(bytes(), name_);
+    if (sim_->materialize) data_.assign(count_, T{});
+  }
+
+  GlobalBuffer(const GlobalBuffer&) = delete;
+  GlobalBuffer& operator=(const GlobalBuffer&) = delete;
+  GlobalBuffer(GlobalBuffer&& o) noexcept
+      : sim_(std::exchange(o.sim_, nullptr)),
+        count_(o.count_),
+        name_(std::move(o.name_)),
+        data_(std::move(o.data_)) {}
+  GlobalBuffer& operator=(GlobalBuffer&&) = delete;
+
+  ~GlobalBuffer() {
+    if (sim_ != nullptr) sim_->on_free(bytes());
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t bytes() const { return count_ * sizeof(T); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool materialized() const { return !data_.empty(); }
+
+  [[nodiscard]] T* data() {
+    SAT_DCHECK(materialized());
+    return data_.data();
+  }
+  [[nodiscard]] const T* data() const {
+    SAT_DCHECK(materialized());
+    return data_.data();
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    SAT_DCHECK(materialized() && i < count_);
+    return data_[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    SAT_DCHECK(materialized() && i < count_);
+    return data_[i];
+  }
+
+  /// Dense 2-D view; only valid when materialized.
+  [[nodiscard]] satutil::Span2d<T> view2d(std::size_t rows, std::size_t cols) {
+    SAT_CHECK(rows * cols <= count_);
+    return {data(), rows, cols};
+  }
+  [[nodiscard]] satutil::Span2d<const T> view2d(std::size_t rows,
+                                                std::size_t cols) const {
+    SAT_CHECK(rows * cols <= count_);
+    return {data(), rows, cols};
+  }
+
+  /// Host-side initialization (outside kernel time; like cudaMemcpy H→D,
+  /// which the paper does not time either).
+  template <class Src>
+  void upload(const Src& src) {
+    if (!sim_->materialize) return;
+    SAT_CHECK(src.size() == count_);
+    std::copy(src.begin(), src.end(), data_.begin());
+  }
+
+ private:
+  SimContext* sim_;
+  std::size_t count_;
+  std::string name_;
+  std::vector<T> data_;
+};
+
+}  // namespace gpusim

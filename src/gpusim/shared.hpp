@@ -1,0 +1,96 @@
+// SharedTile: a W×W matrix in the simulated on-chip shared memory.
+//
+// Implements the two physical arrangements of §II: the usual row-major
+// layout (offset i·W + j) and the *diagonal arrangement* [16,17]
+// (offset i·W + (i+j) mod W), which makes both row-wise and column-wise
+// warp access conflict-free when W is a multiple of the warp width.
+//
+// Bank-conflict accounting is expressed as a per-warp-access *conflict
+// factor*: the number of serialized cycles one 32-lane access takes
+// (1 = conflict-free, 32 = fully serialized column access in row-major).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gpusim {
+
+enum class SharedArrangement : unsigned char {
+  RowMajor,  ///< offset i·W + j — column access is bank-degenerate
+  Diagonal,  ///< offset i·W + (i+j) mod W — conflict-free both ways
+};
+
+[[nodiscard]] constexpr const char* to_string(SharedArrangement a) {
+  return a == SharedArrangement::RowMajor ? "row-major" : "diagonal";
+}
+
+/// Access direction of one warp touching 32 consecutive elements of a tile.
+enum class SharedAccessDir : unsigned char {
+  Row,     ///< lanes walk along a row (j varies)
+  Column,  ///< lanes walk along a column (i varies)
+};
+
+/// Serialized cycles for one 32-lane access to a W×W tile (W multiple of 32).
+[[nodiscard]] constexpr std::size_t shared_conflict_factor(
+    SharedArrangement arr, SharedAccessDir dir, std::size_t tile_w,
+    std::size_t warp_size = 32) {
+  if (arr == SharedArrangement::Diagonal) return 1;
+  if (dir == SharedAccessDir::Row) return 1;
+  // Row-major column access: offsets i·W + j with i varying; banks
+  // (i·W + j) mod 32 — constant when W is a multiple of 32 → 32-way conflict.
+  return (tile_w % warp_size == 0) ? warp_size : 1;
+}
+
+template <class T>
+class SharedTile {
+ public:
+  /// A tile of width `w`; allocates element storage only when `materialize`.
+  SharedTile(std::size_t w, SharedArrangement arr, bool materialize)
+      : w_(w), arr_(arr) {
+    SAT_CHECK_MSG(w > 0 && w % 32 == 0,
+                  "tile width " << w << " must be a positive multiple of 32");
+    if (materialize) data_.assign(w * w, T{});
+  }
+
+  [[nodiscard]] std::size_t width() const { return w_; }
+  [[nodiscard]] SharedArrangement arrangement() const { return arr_; }
+  [[nodiscard]] bool materialized() const { return !data_.empty(); }
+  [[nodiscard]] std::size_t bytes() const { return w_ * w_ * sizeof(T); }
+
+  [[nodiscard]] T& at(std::size_t i, std::size_t j) {
+    SAT_DCHECK(materialized() && i < w_ && j < w_);
+    return data_[offset(i, j)];
+  }
+  [[nodiscard]] const T& at(std::size_t i, std::size_t j) const {
+    SAT_DCHECK(materialized() && i < w_ && j < w_);
+    return data_[offset(i, j)];
+  }
+
+  /// Physical offset of logical element (i, j) under the arrangement.
+  [[nodiscard]] std::size_t offset(std::size_t i, std::size_t j) const {
+    return arr_ == SharedArrangement::Diagonal ? i * w_ + (i + j) % w_
+                                               : i * w_ + j;
+  }
+
+  /// Physical bank (0..31) of logical element (i, j).
+  [[nodiscard]] std::size_t bank(std::size_t i, std::size_t j) const {
+    return offset(i, j) % 32;
+  }
+
+  [[nodiscard]] std::size_t conflict_factor(SharedAccessDir dir) const {
+    return shared_conflict_factor(arr_, dir, w_);
+  }
+
+  void fill(const T& v) {
+    for (T& x : data_) x = v;
+  }
+
+ private:
+  std::size_t w_;
+  SharedArrangement arr_;
+  std::vector<T> data_;
+};
+
+}  // namespace gpusim

@@ -1,0 +1,75 @@
+// SimContext: one simulated device plus everything accumulated across the
+// kernel launches of a run (reports, global-memory allocation tracking).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpusim/cost.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/errors.hpp"
+
+namespace gpusim {
+
+class SimContext {
+ public:
+  explicit SimContext(DeviceConfig device_config = DeviceConfig::titan_v())
+      : device(std::move(device_config)),
+        cost(SimCostParams::for_device(device)) {}
+
+  DeviceConfig device;
+  SimCostParams cost;
+
+  /// When false the simulator runs in *count-only* mode: buffers hold no
+  /// element data and primitives skip arithmetic, but every counter, flag
+  /// transition and timestamp is identical to a materialized run (asserted
+  /// by tests at sizes where both modes fit in memory).
+  bool materialize = true;
+
+  /// Per-launch reports, in launch order.
+  std::vector<KernelReport> reports;
+
+  /// Called by GlobalBuffer; enforces the device's global-memory capacity
+  /// (the paper's 12 GiB limit is what capped its evaluation at 32K×32K).
+  void on_alloc(std::size_t bytes, const std::string& what) {
+    if (bytes_allocated_ + bytes > device.global_mem_bytes) {
+      throw ResourceError("global memory exhausted allocating " + what + ": " +
+                          std::to_string(bytes_allocated_ + bytes) + " of " +
+                          std::to_string(device.global_mem_bytes) + " bytes");
+    }
+    bytes_allocated_ += bytes;
+    if (bytes_allocated_ > peak_bytes_) peak_bytes_ = bytes_allocated_;
+  }
+  void on_free(std::size_t bytes) { bytes_allocated_ -= bytes; }
+
+  [[nodiscard]] std::size_t bytes_allocated() const { return bytes_allocated_; }
+  [[nodiscard]] std::size_t peak_bytes_allocated() const { return peak_bytes_; }
+
+  /// Counter totals over all launches so far.
+  [[nodiscard]] Counters totals() const {
+    Counters t;
+    for (const KernelReport& r : reports) t += r.counters;
+    return t;
+  }
+
+  [[nodiscard]] std::size_t kernel_launches() const { return reports.size(); }
+
+  /// Largest thread count any single launch used (Table I's "threads").
+  [[nodiscard]] std::size_t max_threads() const {
+    std::size_t m = 0;
+    for (const KernelReport& r : reports) {
+      const std::size_t t =
+          r.grid_blocks * static_cast<std::size_t>(r.threads_per_block);
+      if (t > m) m = t;
+    }
+    return m;
+  }
+
+ private:
+  std::size_t bytes_allocated_ = 0;
+  std::size_t peak_bytes_ = 0;
+};
+
+}  // namespace gpusim

@@ -1,0 +1,76 @@
+// BlockTask: the coroutine type that represents one CUDA block's execution.
+//
+// A kernel body is an ordinary C++20 coroutine returning BlockTask. The
+// scheduler resumes it; the body suspends at co_await points (yields and
+// soft-synchronization waits). One coroutine == one block: intra-block
+// thread-collective operations are primitives that account their cost, so a
+// 1M-tile kernel needs 1M cheap coroutines rather than 1G thread fibers.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace gpusim {
+
+class BlockTask {
+ public:
+  struct promise_type {
+    std::exception_ptr exception;
+
+    BlockTask get_return_object() {
+      return BlockTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  BlockTask() = default;
+  explicit BlockTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  BlockTask(BlockTask&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  BlockTask& operator=(BlockTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  BlockTask(const BlockTask&) = delete;
+  BlockTask& operator=(const BlockTask&) = delete;
+  ~BlockTask() { destroy(); }
+
+  /// Runs the block until its next suspension point (or completion).
+  /// Returns true if the coroutine is finished afterwards.
+  bool resume() {
+    handle_.resume();
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+    return handle_.done();
+  }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+  [[nodiscard]] bool done() const { return handle_.done(); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// `co_await Yield{}` — give other resident blocks a turn without waiting on
+/// anything. Cost-free; used to model long-running persistent blocks fairly.
+struct Yield {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+}  // namespace gpusim

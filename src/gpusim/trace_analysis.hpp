@@ -1,0 +1,104 @@
+// Analysis helpers over per-block traces (KernelReport::trace): occupancy
+// timelines and utilization statistics, used by scheduler_trace and the
+// trace tests.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gpusim/counters.hpp"
+
+namespace gpusim {
+
+/// One sample of the concurrency timeline: at `t_us`, `active` blocks were
+/// between their start and finish.
+struct OccupancySample {
+  double t_us = 0;
+  std::size_t active = 0;
+};
+
+/// Builds the active-block timeline from a trace by sweeping start/finish
+/// events. Samples are emitted at every event time (piecewise-constant in
+/// between), sorted by time.
+[[nodiscard]] inline std::vector<OccupancySample> occupancy_timeline(
+    const std::vector<BlockTraceEntry>& trace) {
+  std::vector<std::pair<double, int>> events;
+  events.reserve(2 * trace.size());
+  for (const auto& t : trace) {
+    events.emplace_back(t.start_us, +1);
+    events.emplace_back(t.finish_us, -1);
+  }
+  std::sort(events.begin(), events.end());
+  std::vector<OccupancySample> out;
+  out.reserve(events.size());
+  std::size_t active = 0;
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    active = static_cast<std::size_t>(
+        static_cast<long long>(active) + events[k].second);
+    if (k + 1 < events.size() && events[k + 1].first == events[k].first)
+      continue;  // coalesce simultaneous events
+    out.push_back({events[k].first, active});
+  }
+  return out;
+}
+
+/// Time-weighted mean number of active blocks over the kernel's span.
+[[nodiscard]] inline double mean_active_blocks(
+    const std::vector<BlockTraceEntry>& trace) {
+  if (trace.empty()) return 0;
+  const auto timeline = occupancy_timeline(trace);
+  double span_end = 0;
+  for (const auto& t : trace) span_end = std::max(span_end, t.finish_us);
+  double area = 0, prev_t = 0;
+  std::size_t prev_active = 0;
+  for (const auto& s : timeline) {
+    area += double(prev_active) * (s.t_us - prev_t);
+    prev_t = s.t_us;
+    prev_active = s.active;
+  }
+  return span_end > 0 ? area / span_end : 0;
+}
+
+/// Fraction of total block time spent stalled on status flags.
+[[nodiscard]] inline double wait_share(
+    const std::vector<BlockTraceEntry>& trace) {
+  double busy = 0, wait = 0;
+  for (const auto& t : trace) {
+    wait += t.wait_us;
+    busy += (t.finish_us - t.start_us) - t.wait_us;
+  }
+  return busy + wait > 0 ? wait / (busy + wait) : 0;
+}
+
+/// Renders the occupancy timeline as a fixed-width ASCII sparkline
+/// (bucketed maximum), for terminal reports.
+[[nodiscard]] inline std::string occupancy_sparkline(
+    const std::vector<BlockTraceEntry>& trace, std::size_t width = 60) {
+  static const char* kLevels = " .:-=+*#%@";
+  if (trace.empty()) return std::string(width, ' ');
+  const auto timeline = occupancy_timeline(trace);
+  double span_end = 0;
+  std::size_t peak = 1;
+  for (const auto& t : trace) span_end = std::max(span_end, t.finish_us);
+  for (const auto& s : timeline) peak = std::max(peak, s.active);
+  std::vector<std::size_t> bucket(width, 0);
+  double prev_t = 0;
+  std::size_t prev_active = 0;
+  for (const auto& s : timeline) {
+    const auto b0 = std::min<std::size_t>(
+        width - 1, std::size_t(prev_t / span_end * double(width)));
+    const auto b1 = std::min<std::size_t>(
+        width - 1, std::size_t(s.t_us / span_end * double(width)));
+    for (std::size_t b = b0; b <= b1; ++b)
+      bucket[b] = std::max(bucket[b], prev_active);
+    prev_t = s.t_us;
+    prev_active = s.active;
+  }
+  std::string out(width, ' ');
+  for (std::size_t b = 0; b < width; ++b)
+    out[b] = kLevels[std::min<std::size_t>(9, bucket[b] * 9 / peak)];
+  return out;
+}
+
+}  // namespace gpusim

@@ -1,0 +1,66 @@
+// Warp- and block-level collective primitives (§II of the paper).
+//
+// The values are computed directly (the simulator executes blocks as single
+// coroutines); the *cost* is charged exactly as the warp algorithms would
+// incur it: the Harris warp prefix-sum runs log2(w) shuffle+add rounds, and
+// a block-wide scan of L lanes adds a cross-warp aggregation pass.
+#pragma once
+
+#include <bit>
+#include <span>
+
+#include "gpusim/block.hpp"
+
+namespace gpusim {
+
+/// Integer log2 of a power of two.
+[[nodiscard]] constexpr std::size_t log2_exact(std::size_t x) {
+  SAT_DCHECK(std::has_single_bit(x));
+  return static_cast<std::size_t>(std::countr_zero(x));
+}
+
+/// Charges the cost of the warp prefix-sum algorithm over `lanes` values
+/// held in registers (lanes ≤ 32, power of two): log2(lanes) rounds of
+/// __shfl + add. Call once per participating warp.
+inline void charge_warp_scan(BlockCtx& ctx, std::size_t lanes = 32) {
+  const std::size_t rounds = log2_exact(lanes);
+  ctx.shfl(rounds);
+  ctx.warp_alu(rounds);
+}
+
+/// Inclusive prefix sum across `values` as a block-wide register scan:
+/// per-warp Harris scans plus one aggregation scan over warp totals.
+/// Mutates `values` in place and charges the corresponding cost.
+template <class T>
+void block_inclusive_scan(BlockCtx& ctx, std::span<T> values) {
+  const std::size_t n = values.size();
+  if (n == 0) return;
+  const std::size_t warps = (n + 31) / 32;
+  for (std::size_t w = 0; w < warps; ++w) {
+    charge_warp_scan(ctx, 32);
+  }
+  if (warps > 1) {
+    // Scan of warp aggregates (one more warp-scan) + broadcast add.
+    charge_warp_scan(ctx, std::bit_ceil(warps) > 32 ? 32 : std::bit_ceil(warps));
+    ctx.warp_alu(warps);
+  }
+  T run{};
+  for (T& v : values) {
+    run += v;
+    v = run;
+  }
+}
+
+/// Sum reduction over `values` using the same shuffle tree; returns the sum.
+template <class T>
+[[nodiscard]] T block_reduce_sum(BlockCtx& ctx, std::span<const T> values) {
+  const std::size_t n = values.size();
+  const std::size_t warps = (n + 31) / 32;
+  for (std::size_t w = 0; w < warps; ++w) charge_warp_scan(ctx, 32);
+  if (warps > 1) charge_warp_scan(ctx, 32);
+  T sum{};
+  for (const T& v : values) sum += v;
+  return sum;
+}
+
+}  // namespace gpusim

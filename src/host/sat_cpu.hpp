@@ -1,0 +1,76 @@
+// Host (CPU) summed-area-table implementations.
+//
+// `sat_sequential` is the auditable O(n²) oracle every simulated algorithm
+// is validated against. The blocked and parallel variants are the library's
+// practical CPU fallback and the subject of bench_host_sat.
+#pragma once
+
+#include <cstddef>
+
+#include "util/span2d.hpp"
+
+namespace sathost {
+
+/// Single-pass sequential SAT:
+///   b[i][j] = a[i][j] + b[i−1][j] + b[i][j−1] − b[i−1][j−1].
+/// `src` and `dst` must have identical shape and must not alias.
+template <class T>
+void sat_sequential(satutil::Span2d<const T> src, satutil::Span2d<T> dst) {
+  SAT_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  const std::size_t rows = src.rows();
+  const std::size_t cols = src.cols();
+  for (std::size_t i = 0; i < rows; ++i) {
+    T row_run{};
+    for (std::size_t j = 0; j < cols; ++j) {
+      row_run += src(i, j);
+      dst(i, j) = row_run + (i > 0 ? dst(i - 1, j) : T{});
+    }
+  }
+}
+
+/// Two-pass sequential SAT (column-wise then row-wise prefix sums) — the
+/// definition in Figure 2; used by the property tests to cross-check the
+/// single-pass recurrence. May alias src == dst.
+template <class T>
+void sat_two_pass(satutil::Span2d<const T> src, satutil::Span2d<T> dst) {
+  SAT_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  const std::size_t rows = src.rows();
+  const std::size_t cols = src.cols();
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      dst(i, j) = src(i, j) + (i > 0 ? dst(i - 1, j) : T{});
+  for (std::size_t i = 0; i < rows; ++i) {
+    T run{};
+    for (std::size_t j = 0; j < cols; ++j) {
+      run += dst(i, j);
+      dst(i, j) = run;
+    }
+  }
+}
+
+/// Cache-blocked SAT: processes the matrix in tile_rows×tile_cols blocks so
+/// the working set of the column pass stays in cache.
+template <class T>
+void sat_blocked(satutil::Span2d<const T> src, satutil::Span2d<T> dst,
+                 std::size_t tile = 64) {
+  SAT_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  SAT_CHECK(tile > 0);
+  const std::size_t rows = src.rows();
+  const std::size_t cols = src.cols();
+  for (std::size_t bi = 0; bi < rows; bi += tile) {
+    const std::size_t ilim = std::min(bi + tile, rows);
+    for (std::size_t bj = 0; bj < cols; bj += tile) {
+      const std::size_t jlim = std::min(bj + tile, cols);
+      for (std::size_t i = bi; i < ilim; ++i) {
+        T row_run = bj > 0 ? dst(i, bj - 1) - (i > 0 ? dst(i - 1, bj - 1) : T{})
+                           : T{};
+        for (std::size_t j = bj; j < jlim; ++j) {
+          row_run += src(i, j);
+          dst(i, j) = row_run + (i > 0 ? dst(i - 1, j) : T{});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sathost

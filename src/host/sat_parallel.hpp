@@ -1,0 +1,61 @@
+// Multithreaded host SAT: the two-pass decomposition of Figure 2 with each
+// pass split over a thread pool (columns are independent in pass 1, rows in
+// pass 2 — no synchronization inside a pass, one barrier between passes).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "host/thread_pool.hpp"
+#include "util/span2d.hpp"
+
+namespace sathost {
+
+/// Computes the SAT of `src` into `dst` using `pool`. Must not alias.
+template <class T>
+void sat_parallel(ThreadPool& pool, satutil::Span2d<const T> src,
+                  satutil::Span2d<T> dst) {
+  SAT_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  const std::size_t rows = src.rows();
+  const std::size_t cols = src.cols();
+  if (rows == 0 || cols == 0) return;
+
+  // Oversubscribe chunks 4× so uneven progress balances out.
+  const std::size_t target_chunks = std::max<std::size_t>(pool.size() * 4, 1);
+
+  // Pass 1: column-wise prefix sums, columns split into ranges; each worker
+  // walks rows downward over its range (contiguous, cache-friendly).
+  {
+    const std::size_t chunk_cols =
+        std::max<std::size_t>((cols + target_chunks - 1) / target_chunks, 1);
+    const std::size_t chunks = (cols + chunk_cols - 1) / chunk_cols;
+    pool.parallel_for(chunks, [&](std::size_t c) {
+      const std::size_t j0 = c * chunk_cols;
+      const std::size_t j1 = std::min(j0 + chunk_cols, cols);
+      for (std::size_t j = j0; j < j1; ++j) dst(0, j) = src(0, j);
+      for (std::size_t i = 1; i < rows; ++i)
+        for (std::size_t j = j0; j < j1; ++j)
+          dst(i, j) = dst(i - 1, j) + src(i, j);
+    });
+  }
+
+  // Pass 2: row-wise prefix sums in place, rows split into ranges.
+  {
+    const std::size_t chunk_rows =
+        std::max<std::size_t>((rows + target_chunks - 1) / target_chunks, 1);
+    const std::size_t chunks = (rows + chunk_rows - 1) / chunk_rows;
+    pool.parallel_for(chunks, [&](std::size_t c) {
+      const std::size_t i0 = c * chunk_rows;
+      const std::size_t i1 = std::min(i0 + chunk_rows, rows);
+      for (std::size_t i = i0; i < i1; ++i) {
+        T run{};
+        for (std::size_t j = 0; j < cols; ++j) {
+          run += dst(i, j);
+          dst(i, j) = run;
+        }
+      }
+    });
+  }
+}
+
+}  // namespace sathost

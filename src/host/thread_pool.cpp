@@ -1,0 +1,93 @@
+#include "host/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace sathost {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallel_for, so spawn workers−1.
+  threads_.reserve(workers - 1);
+  for (std::size_t i = 0; i + 1 < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::parallel_for(std::size_t chunks,
+                              const std::function<void(std::size_t)>& fn) {
+  if (chunks == 0) return;
+  {
+    std::lock_guard lock(mu_);
+    fn_ = &fn;
+    chunks_ = chunks;
+    next_chunk_ = 0;
+    in_flight_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The calling thread drains chunks too.
+  for (;;) {
+    std::size_t chunk;
+    {
+      std::lock_guard lock(mu_);
+      if (next_chunk_ >= chunks_) break;
+      chunk = next_chunk_++;
+      ++in_flight_;
+    }
+    fn(chunk);
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+    }
+  }
+
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  fn_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::size_t chunk;
+    const std::function<void(std::size_t)>* fn;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (fn_ != nullptr && generation_ != seen_generation &&
+                         next_chunk_ < chunks_);
+      });
+      if (stop_) return;
+      if (next_chunk_ >= chunks_) {
+        seen_generation = generation_;
+        continue;
+      }
+      chunk = next_chunk_++;
+      ++in_flight_;
+      fn = fn_;
+    }
+    (*fn)(chunk);
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+      if (next_chunk_ >= chunks_) {
+        seen_generation = generation_;
+        if (in_flight_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace sathost

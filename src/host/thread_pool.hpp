@@ -1,0 +1,48 @@
+// A small reusable thread pool with a parallel_for entry point, used by the
+// multithreaded host SAT. Threads are created once and woken per batch —
+// the standard fork/join worker pattern.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sathost {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` picks the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return threads_.size() + 1; }
+
+  /// Runs fn(chunk_index) for chunk_index in [0, chunks), distributing
+  /// chunks over the workers (the calling thread participates). Blocks
+  /// until every chunk is done. fn must not throw.
+  void parallel_for(std::size_t chunks,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t chunks_ = 0;
+  std::size_t next_chunk_ = 0;
+  std::size_t in_flight_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace sathost

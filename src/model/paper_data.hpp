@@ -1,0 +1,77 @@
+// The paper's published measurements (Table III): running time in
+// milliseconds on an NVIDIA TITAN V for 4-byte float matrices. Used by the
+// bench harnesses and EXPERIMENTS.md to print paper-vs-model side by side
+// and by the shape tests to assert ranking agreement.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace satmodel {
+
+/// Matrix sides of Table III: 256 … 32768.
+inline constexpr std::array<std::size_t, 8> kPaperSizes = {
+    256, 512, 1024, 2048, 4096, 8192, 16384, 32768};
+
+/// One Table III row variant: algorithm at a specific tile width (0 = the
+/// algorithm has no W parameter).
+struct PaperRow {
+  std::string_view algorithm;
+  std::size_t tile_w;  // 0, 32, 64 or 128
+  std::array<double, 8> ms;
+};
+
+inline constexpr std::array<PaperRow, 18> kPaperTable3 = {{
+    {"duplicate", 0, {0.00512, 0.00614, 0.0165, 0.0645, 0.237, 0.927, 3.69, 14.7}},
+    {"2R2W", 0, {0.0901, 0.167, 0.338, 1.01, 2.57, 8.47, 24.4, 87.1}},
+    {"2R2W-optimal", 0, {0.0224, 0.0224, 0.0467, 0.136, 0.478, 1.86, 7.52, 30.0}},
+    {"2R1W", 32, {0.0191, 0.0272, 0.0669, 0.182, 0.577, 2.04, 7.88, 30.9}},
+    {"2R1W", 64, {0.0161, 0.0191, 0.0489, 0.141, 0.434, 1.53, 5.81, 22.8}},
+    {"2R1W", 128, {0.0271, 0.0284, 0.0489, 0.155, 0.459, 1.65, 6.35, 25.1}},
+    {"1R1W", 32, {0.059, 0.108, 0.249, 0.524, 1.13, 2.97, 8.47, 27.9}},
+    {"1R1W", 64, {0.0363, 0.0829, 0.194, 0.402, 0.866, 2.03, 6.32, 21.7}},
+    {"1R1W", 128, {0.0301, 0.0653, 0.195, 0.417, 0.890, 2.02, 6.23, 21.0}},
+    {"(1+r)R1W", 32, {0.0453, 0.0555, 0.118, 0.302, 0.862, 2.45, 7.47, 25.4}},
+    {"(1+r)R1W", 64, {0.0464, 0.0582, 0.0809, 0.197, 0.539, 1.67, 5.95, 21.2}},
+    {"(1+r)R1W", 128, {0.0638, 0.0709, 0.0871, 0.188, 0.517, 1.60, 5.81, 20.6}},
+    {"1R1W-SKSS", 32, {0.0298, 0.0476, 0.0692, 0.128, 0.387, 1.20, 4.55, 17.5}},
+    {"1R1W-SKSS", 64, {0.0298, 0.0356, 0.0606, 0.136, 0.330, 1.15, 4.26, 16.4}},
+    {"1R1W-SKSS", 128, {0.0409, 0.0398, 0.0753, 0.124, 0.319, 1.14, 4.18, 16.2}},
+    {"1R1W-SKSS-LB", 32, {0.0146, 0.0209, 0.0444, 0.147, 0.542, 2.16, 8.64, 37.5}},
+    {"1R1W-SKSS-LB", 64, {0.0126, 0.0156, 0.0266, 0.0790, 0.266, 1.06, 4.28, 17.4}},
+    {"1R1W-SKSS-LB", 128, {0.0132, 0.0136, 0.0208, 0.0753, 0.258, 0.980, 3.92, 15.8}},
+}};
+
+/// Index of matrix side `n` in kPaperSizes, if it is one of the paper's.
+[[nodiscard]] inline std::optional<std::size_t> paper_size_index(
+    std::size_t n) {
+  for (std::size_t k = 0; k < kPaperSizes.size(); ++k)
+    if (kPaperSizes[k] == n) return k;
+  return std::nullopt;
+}
+
+/// The paper's time for (algorithm, W, n), if published.
+[[nodiscard]] inline std::optional<double> paper_time_ms(
+    std::string_view algorithm, std::size_t tile_w, std::size_t n) {
+  const auto k = paper_size_index(n);
+  if (!k) return std::nullopt;
+  for (const PaperRow& row : kPaperTable3)
+    if (row.algorithm == algorithm && row.tile_w == tile_w) return row.ms[*k];
+  return std::nullopt;
+}
+
+/// The paper's best (over W) time for an algorithm at size n.
+[[nodiscard]] inline std::optional<double> paper_best_time_ms(
+    std::string_view algorithm, std::size_t n) {
+  const auto k = paper_size_index(n);
+  if (!k) return std::nullopt;
+  std::optional<double> best;
+  for (const PaperRow& row : kPaperTable3)
+    if (row.algorithm == algorithm)
+      if (!best || row.ms[*k] < *best) best = row.ms[*k];
+  return best;
+}
+
+}  // namespace satmodel

@@ -1,0 +1,41 @@
+// Performance model: converts simulator kernel reports into predicted
+// TITAN V milliseconds (the units of Table III).
+//
+// The simulator already folds bandwidth shares, occupancy and inter-block
+// dependencies into each kernel's critical path (see gpusim/kernel.cpp);
+// the model adds the host-side kernel-launch overhead and sums kernels,
+// which execute back-to-back.
+//
+// Calibration (documented in DESIGN.md §2): only the duplication baseline
+// was used to fix the achievable bandwidth (585 GB/s) and launch latency
+// (4 µs); every algorithm row of Table III is then a prediction.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/gpusim.hpp"
+#include "sat/params.hpp"
+
+namespace satmodel {
+
+/// Predicted wall time of one kernel launch, in microseconds.
+[[nodiscard]] inline double predict_kernel_us(const gpusim::KernelReport& r,
+                                              const gpusim::SimCostParams& c) {
+  return c.kernel_launch_us + r.critical_path_us;
+}
+
+/// Predicted wall time of a full algorithm run, in milliseconds.
+[[nodiscard]] inline double predict_run_ms(const satalgo::RunResult& run,
+                                           const gpusim::SimCostParams& c) {
+  double us = 0;
+  for (const auto& r : run.reports) us += predict_kernel_us(r, c);
+  return us / 1e3;
+}
+
+/// Overhead of `run_ms` over the duplication baseline, in percent —
+/// the paper's (T − D)/D × 100 metric.
+[[nodiscard]] inline double overhead_pct(double run_ms, double duplication_ms) {
+  return (run_ms - duplication_ms) / duplication_ms * 100.0;
+}
+
+}  // namespace satmodel

@@ -1,0 +1,87 @@
+// Run parameters and results shared by all SAT algorithm implementations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/gpusim.hpp"
+#include "scan/tuning.hpp"
+
+namespace satalgo {
+
+/// Parameters of a SAT run. `tile_w` and `threads_per_block` correspond to
+/// the paper's W and W²/m (the paper fixes threads at 1024 and sweeps
+/// W ∈ {32, 64, 128}).
+struct SatParams {
+  std::size_t tile_w = 64;
+  int threads_per_block = 1024;
+  gpusim::SharedArrangement arrangement = gpusim::SharedArrangement::Diagonal;
+
+  /// Hardware block-dispatch order (kernels must work under all of them).
+  gpusim::AssignmentOrder order = gpusim::AssignmentOrder::Natural;
+  std::uint64_t seed = 0;
+
+  /// (1+r)R1W only: fraction of tiles handled by the 2R1W-style phases.
+  double hybrid_r = 0.25;
+
+  /// SKSS algorithms: when false (default, faithful to the paper) blocks
+  /// self-assign work with atomicAdd, making assignment follow the dispatch
+  /// order; when true blocks use their blockIdx directly — the ablation that
+  /// demonstrates why the atomic grab matters (adversarial dispatch orders
+  /// then deadlock, which the simulator detects).
+  bool skss_direct_assignment = false;
+
+  /// Threads per block for the non-tiled 2R2W algorithm's n-thread kernels.
+  int naive_threads_per_block = 1024;
+
+  satscan::RowScanTuning row_scan{};
+  satscan::ColScanTuning col_scan{};
+
+  /// Record per-block timelines into every kernel report (O(grid) memory);
+  /// consumed by the scheduler_trace example and the trace tests.
+  bool record_trace = false;
+
+  [[nodiscard]] std::size_t m() const {
+    return tile_w * tile_w / static_cast<std::size_t>(threads_per_block);
+  }
+};
+
+/// The outcome of one algorithm run: per-kernel reports (in launch order).
+struct RunResult {
+  std::string algorithm;
+  std::vector<gpusim::KernelReport> reports;
+
+  [[nodiscard]] std::size_t kernel_calls() const { return reports.size(); }
+
+  [[nodiscard]] gpusim::Counters totals() const {
+    gpusim::Counters t;
+    for (const auto& r : reports) t += r.counters;
+    return t;
+  }
+
+  /// Largest number of threads used by any single kernel (Table I).
+  [[nodiscard]] std::size_t max_threads() const {
+    std::size_t m = 0;
+    for (const auto& r : reports)
+      m = std::max(m, r.grid_blocks * static_cast<std::size_t>(r.threads_per_block));
+    return m;
+  }
+
+  /// Sum of per-kernel critical paths (kernels execute back-to-back; the
+  /// next one starts only after the previous finishes).
+  [[nodiscard]] double sum_critical_path_us() const {
+    double t = 0;
+    for (const auto& r : reports) t += r.critical_path_us;
+    return t;
+  }
+
+  [[nodiscard]] std::size_t max_lookback_depth() const {
+    std::size_t d = 0;
+    for (const auto& r : reports) d = std::max(d, r.max_lookback_depth);
+    return d;
+  }
+};
+
+}  // namespace satalgo

@@ -1,0 +1,140 @@
+// Column-wise inclusive prefix sums of a rows×cols matrix in one kernel —
+// the "almost optimal column-wise prefix-sum" of Tokura et al. [12].
+//
+// The matrix is cut into strips of `strip_rows` rows × `group_cols` columns.
+// Each block streams its strip row-by-row (every row segment is contiguous,
+// so all global access is coalesced — the fix for 2R2W's strided row pass),
+// scans columns in shared memory, publishes the strip's per-column sums,
+// look-backs *up* its column group for the running offsets, then adds and
+// stores. One read + one write per element, O(rows/strip) aux vectors.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gpusim/gpusim.hpp"
+#include "scan/row_scan.hpp"  // status protocol constants
+#include "scan/tuning.hpp"
+#include "util/check.hpp"
+
+namespace satscan {
+
+/// Scans each column of `src` into `dst` (same shape; may alias).
+template <class T>
+gpusim::KernelReport col_wise_inclusive_scan(gpusim::SimContext& sim,
+                                             gpusim::GlobalBuffer<T>& src,
+                                             gpusim::GlobalBuffer<T>& dst,
+                                             std::size_t rows, std::size_t cols,
+                                             const ColScanTuning& tune = {}) {
+  SAT_CHECK(src.size() >= rows * cols && dst.size() >= rows * cols);
+  const std::size_t strips = (rows + tune.strip_rows - 1) / tune.strip_rows;
+  const std::size_t groups = (cols + tune.group_cols - 1) / tune.group_cols;
+  const std::size_t grid = strips * groups;
+
+  gpusim::StatusArray status("col_scan.status", grid);
+  gpusim::GlobalAtomicU32 work_counter;
+  // Per (strip, group): the strip's column-sum vector and the inclusive
+  // column prefix vector, each group_cols wide — dense strips×cols arrays.
+  gpusim::GlobalBuffer<T> aggregate(sim, strips * cols, "col_scan.aggregate");
+  gpusim::GlobalBuffer<T> inclusive(sim, strips * cols, "col_scan.inclusive");
+  const bool mat = sim.materialize;
+
+  gpusim::LaunchConfig cfg;
+  cfg.name = "col_scan(" + std::to_string(rows) + "x" + std::to_string(cols) + ")";
+  cfg.grid_blocks = grid;
+  cfg.threads_per_block = tune.threads_per_block;
+  cfg.order = tune.order;
+  cfg.seed = tune.seed;
+  cfg.shared_bytes_per_block =
+      std::min(tune.shared_bytes(sizeof(T)), sim.device.shared_mem_per_block);
+
+  auto body = [&, rows, cols, mat, tune, groups](
+                  gpusim::BlockCtx& ctx,
+                  std::size_t blockIdx) -> gpusim::BlockTask {
+    // Dynamic self-assignment, as in the row scan (see there).
+    const std::size_t block = tune.direct_assignment
+                                  ? blockIdx
+                                  : ctx.atomic_fetch_add(work_counter);
+    const std::size_t strip = block / groups;
+    const std::size_t group = block % groups;
+    const std::size_t row0 = strip * tune.strip_rows;
+    const std::size_t col0 = group * tune.group_cols;
+    const std::size_t nrows = std::min(tune.strip_rows, rows - row0);
+    const std::size_t ncols = std::min(tune.group_cols, cols - col0);
+    const std::size_t warps_row = (ncols + 31) / 32;
+
+    // Stream the strip in: coalesced row segments; accumulate column scans
+    // in shared as we go (one shared store + one add per element).
+    for (std::size_t r = 0; r < nrows; ++r) {
+      ctx.read_contiguous(ncols, sizeof(T));
+      ctx.shared_cycles(2 * warps_row);
+      ctx.warp_alu(warps_row);
+    }
+    // The strip's column sums are the last scanned row; publish them.
+    if (mat) {
+      const T* in = src.data();
+      T* out = dst.data();
+      for (std::size_t c = 0; c < ncols; ++c) {
+        T run{};
+        for (std::size_t r = 0; r < nrows; ++r) {
+          run += in[(row0 + r) * cols + (col0 + c)];
+          out[(row0 + r) * cols + (col0 + c)] = run;
+        }
+        aggregate[strip * cols + col0 + c] = run;
+      }
+    }
+    ctx.write_contiguous(ncols, sizeof(T));
+    ctx.flag_publish(status, block, kAggregateReady);
+
+    // Look back up the column group for the exclusive offsets.
+    std::size_t depth = 0;
+    std::vector<T> offset(mat ? ncols : 0, T{});
+    for (std::size_t back = strip; back > 0; --back) {
+      const std::size_t pred = (back - 1) * groups + group;
+      const std::uint8_t s =
+          co_await ctx.wait_flag_at_least(status, pred, kAggregateReady);
+      ++depth;
+      ctx.read_contiguous(ncols, sizeof(T));
+      ctx.warp_alu(warps_row);
+      if (s >= kPrefixReady) {
+        if (mat) {
+          const T* v = inclusive.data() + (back - 1) * cols + col0;
+          for (std::size_t c = 0; c < ncols; ++c) offset[c] += v[c];
+        }
+        break;
+      }
+      if (mat) {
+        const T* v = aggregate.data() + (back - 1) * cols + col0;
+        for (std::size_t c = 0; c < ncols; ++c) offset[c] += v[c];
+      }
+    }
+    ctx.note_lookback_depth(depth);
+
+    if (mat) {
+      T* v = inclusive.data() + strip * cols + col0;
+      const T* a = aggregate.data() + strip * cols + col0;
+      for (std::size_t c = 0; c < ncols; ++c) v[c] = offset[c] + a[c];
+    }
+    ctx.write_contiguous(ncols, sizeof(T));
+    ctx.flag_publish(status, block, kPrefixReady);
+
+    // Add offsets to the strip in shared and stream it out, coalesced.
+    for (std::size_t r = 0; r < nrows; ++r) {
+      ctx.shared_cycles(warps_row);
+      ctx.warp_alu(warps_row);
+      ctx.write_contiguous(ncols, sizeof(T));
+    }
+    if (mat && strip > 0) {
+      T* out = dst.data();
+      for (std::size_t r = 0; r < nrows; ++r)
+        for (std::size_t c = 0; c < ncols; ++c)
+          out[(row0 + r) * cols + (col0 + c)] += offset[c];
+    }
+    co_return;
+  };
+
+  return gpusim::launch_kernel(sim, cfg, body);
+}
+
+}  // namespace satscan

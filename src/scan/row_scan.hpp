@@ -1,0 +1,129 @@
+// Row-wise inclusive prefix sums of a rows×cols matrix in one kernel —
+// the single-pass scan with decoupled look-back of Merrill and Garland
+// [10,11], applied independently to every row.
+//
+// Each block owns one chunk of one row: it loads the chunk (coalesced),
+// scans it locally, immediately publishes the chunk *aggregate*, resolves
+// its exclusive prefix by walking predecessor chunks backwards (reading a
+// published inclusive prefix when available, otherwise accumulating
+// aggregates), publishes its own inclusive prefix, and stores the offset
+// chunk. Exactly one read and one write per element, plus O(cols/chunk)
+// auxiliary scalars per row.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gpusim/gpusim.hpp"
+#include "scan/tuning.hpp"
+#include "util/check.hpp"
+
+namespace satscan {
+
+/// Status protocol per chunk.
+inline constexpr std::uint8_t kAggregateReady = 1;
+inline constexpr std::uint8_t kPrefixReady = 2;
+
+/// Scans each row of `src` into `dst` (same shape; may alias). Buffers hold
+/// `rows*cols` elements in row-major order.
+template <class T>
+gpusim::KernelReport row_wise_inclusive_scan(gpusim::SimContext& sim,
+                                             gpusim::GlobalBuffer<T>& src,
+                                             gpusim::GlobalBuffer<T>& dst,
+                                             std::size_t rows, std::size_t cols,
+                                             const RowScanTuning& tune = {}) {
+  SAT_CHECK(src.size() >= rows * cols && dst.size() >= rows * cols);
+  const std::size_t chunk = tune.chunk_elems();
+  const std::size_t chunks_per_row = (cols + chunk - 1) / chunk;
+  const std::size_t grid = rows * chunks_per_row;
+
+  gpusim::StatusArray status("row_scan.status", grid);
+  gpusim::GlobalAtomicU32 work_counter;
+  gpusim::GlobalBuffer<T> aggregate(sim, grid, "row_scan.aggregate");
+  gpusim::GlobalBuffer<T> inclusive(sim, grid, "row_scan.inclusive");
+  const bool mat = sim.materialize;
+
+  gpusim::LaunchConfig cfg;
+  cfg.name = "row_scan(" + std::to_string(rows) + "x" + std::to_string(cols) + ")";
+  cfg.grid_blocks = grid;
+  cfg.threads_per_block = tune.threads_per_block;
+  cfg.order = tune.order;
+  cfg.seed = tune.seed;
+  cfg.shared_bytes_per_block = chunk * sizeof(T);
+
+  auto body = [&, chunk, chunks_per_row, cols, mat](
+                  gpusim::BlockCtx& ctx,
+                  std::size_t blockIdx) -> gpusim::BlockTask {
+    // Self-assign the chunk in dispatch order (Merrill–Garland's dynamic
+    // tile scheduling): the look-back below then only targets chunks whose
+    // owners are already running, which makes the single-pass scan
+    // deadlock-free under any dispatch order.
+    const std::size_t block = tune.direct_assignment
+                                  ? blockIdx
+                                  : ctx.atomic_fetch_add(work_counter);
+    const std::size_t row = block / chunks_per_row;
+    const std::size_t ci = block % chunks_per_row;
+    const std::size_t col0 = ci * chunk;
+    const std::size_t len = std::min(chunk, cols - col0);
+    const std::size_t base = row * cols + col0;
+
+    // Load + local scan. Shared traffic: one store and one load per element
+    // around the register scan, warp-serialized.
+    ctx.read_contiguous(len, sizeof(T));
+    ctx.shared_cycles(2 * ((len + 31) / 32));
+    for (std::size_t w = 0; w < (len + 31) / 32; ++w)
+      gpusim::charge_warp_scan(ctx, 32);
+    T agg{};
+    if (mat) {
+      const T* in = src.data() + base;
+      T run{};
+      T* out = dst.data() + base;
+      for (std::size_t k = 0; k < len; ++k) {
+        run += in[k];
+        out[k] = run;  // provisional: offset added below before final store
+      }
+      agg = run;
+    }
+    // Publish the aggregate before resolving the prefix — the decoupling
+    // that makes the scan single-pass.
+    if (mat) aggregate[block] = agg;
+    ctx.write_contiguous(1, sizeof(T));
+    ctx.flag_publish(status, block, kAggregateReady);
+
+    // Decoupled look-back for the exclusive prefix of this chunk.
+    T prefix{};
+    std::size_t depth = 0;
+    for (std::size_t back = ci; back > 0; --back) {
+      const std::size_t pred = row * chunks_per_row + back - 1;
+      const std::uint8_t s =
+          co_await ctx.wait_flag_at_least(status, pred, kAggregateReady);
+      ++depth;
+      ctx.read_contiguous(1, sizeof(T));
+      if (s >= kPrefixReady) {
+        if (mat) prefix += inclusive[pred];
+        break;
+      }
+      if (mat) prefix += aggregate[pred];
+    }
+    ctx.note_lookback_depth(depth);
+
+    if (mat) inclusive[block] = prefix + agg;
+    ctx.write_contiguous(1, sizeof(T));
+    ctx.flag_publish(status, block, kPrefixReady);
+
+    // Apply the offset and store the chunk.
+    ctx.shared_cycles((len + 31) / 32);
+    ctx.warp_alu((len + 31) / 32);
+    if (mat && ci > 0) {
+      T* out = dst.data() + base;
+      for (std::size_t k = 0; k < len; ++k) out[k] += prefix;
+    }
+    ctx.write_contiguous(len, sizeof(T));
+    co_return;
+  };
+
+  return gpusim::launch_kernel(sim, cfg, body);
+}
+
+}  // namespace satscan

@@ -1,0 +1,48 @@
+// Tuning knobs shared by the scan kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gpusim/kernel.hpp"
+
+namespace satscan {
+
+/// Shape of the row-wise single-pass scan kernel (Merrill–Garland [10,11]):
+/// each block scans one chunk of one row.
+struct RowScanTuning {
+  int threads_per_block = 1024;
+  std::size_t items_per_thread = 4;  ///< chunk = threads × items elements
+  gpusim::AssignmentOrder order = gpusim::AssignmentOrder::Natural;
+  std::uint64_t seed = 0;
+  /// Ablation: take the chunk index from blockIdx instead of the atomic
+  /// work counter. Merrill–Garland's scan self-assigns tiles atomically so
+  /// the look-back only ever targets already-running blocks; the direct
+  /// variant deadlocks under adversarial dispatch with limited residency.
+  bool direct_assignment = false;
+
+  [[nodiscard]] std::size_t chunk_elems() const {
+    return static_cast<std::size_t>(threads_per_block) * items_per_thread;
+  }
+};
+
+/// Shape of the column-wise single-pass scan kernel (Tokura et al. [12]):
+/// each block scans a strip_rows × group_cols sub-rectangle and resolves the
+/// inter-strip prefix by looking back up its column group.
+struct ColScanTuning {
+  int threads_per_block = 1024;
+  // 32×256 keeps the strip in 32 KiB of shared memory while holding the
+  // inter-strip aux traffic to 2n²/32 — "almost optimal" as in [12].
+  std::size_t strip_rows = 32;
+  std::size_t group_cols = 256;
+  gpusim::AssignmentOrder order = gpusim::AssignmentOrder::Natural;
+  std::uint64_t seed = 0;
+  /// See RowScanTuning::direct_assignment.
+  bool direct_assignment = false;
+
+  [[nodiscard]] std::size_t shared_bytes(std::size_t elem_bytes) const {
+    return strip_rows * group_cols * elem_bytes;
+  }
+};
+
+}  // namespace satscan

@@ -1,0 +1,108 @@
+#include "util/argparse.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace satutil {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+ArgParser& ArgParser::add(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  SAT_CHECK_MSG(!options_.count(name), "duplicate option --" << name);
+  options_[name] = Option{default_value, help, false};
+  order_.push_back(name);
+  return *this;
+}
+
+ArgParser& ArgParser::add_flag(const std::string& name,
+                               const std::string& help) {
+  SAT_CHECK_MSG(!options_.count(name), "duplicate option --" << name);
+  options_[name] = Option{"false", help, true};
+  order_.push_back(name);
+  return *this;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n%s",
+                   arg.c_str(), usage().c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "unknown option '--%s'\n%s", arg.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (it->second.is_flag) {
+      values_[arg] = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "option '--%s' needs a value\n", arg.c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+      values_[arg] = value;
+    }
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  auto opt = options_.find(name);
+  SAT_CHECK_MSG(opt != options_.end(), "option --" << name << " not declared");
+  auto it = values_.find(name);
+  return it != values_.end() ? it->second : opt->second.default_value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& o = options_.at(name);
+    os << "  --" << name;
+    if (!o.is_flag) os << " <value>";
+    os << "\n      " << o.help;
+    if (!o.is_flag) os << " (default: " << o.default_value << ")";
+    os << '\n';
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+}  // namespace satutil

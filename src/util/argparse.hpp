@@ -1,0 +1,49 @@
+// Minimal command-line option parser for the examples and bench harnesses.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` options,
+// generates a usage string, and validates unknown options.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace satutil {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Registers a string option with a default; returns *this for chaining.
+  ArgParser& add(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+
+  /// Registers a boolean flag (false unless present).
+  ArgParser& add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (and prints usage) on `--help` or error.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace satutil

@@ -1,0 +1,110 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace satutil {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  align_.resize(header_.size(), Align::Right);
+  if (!align_.empty()) align_[0] = Align::Left;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SAT_CHECK_MSG(cells.size() == header_.size(),
+                "row arity " << cells.size() << " != header arity "
+                             << header_.size());
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void TextTable::set_align(std::size_t column, Align align) {
+  SAT_CHECK(column < align_.size());
+  align_[column] = align;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      width[c] = std::max(width[c], r.cells[c].size());
+  }
+
+  std::ostringstream os;
+  auto emit_line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = width[c] - cells[c].size();
+      os << ' ';
+      if (align_[c] == Align::Right) os << std::string(pad, ' ');
+      os << cells[c];
+      if (align_[c] == Align::Left) os << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+  auto emit_separator = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < width.size(); ++c)
+      os << std::string(width[c] + 2, '-') << '+';
+    os << '\n';
+  };
+
+  emit_separator();
+  emit_line(header_);
+  emit_separator();
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      emit_separator();
+    } else {
+      emit_line(r.cells);
+    }
+  }
+  emit_separator();
+  return os.str();
+}
+
+std::string format_sig(double value, int digits) {
+  if (value == 0.0) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", digits, value);
+  return buf;
+}
+
+std::string format_pct(double fraction_times_100) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction_times_100);
+  return buf;
+}
+
+std::string format_count(unsigned long long value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i == lead && i != 0) {
+      out += ',';
+      lead += 3;
+    } else if (i > lead) {
+      if ((i - lead) % 3 == 0) out += ',';
+    }
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string format_size_label(std::size_t n) {
+  if (n >= 1024 && n % 1024 == 0) return std::to_string(n / 1024) + "K";
+  return std::to_string(n);
+}
+
+}  // namespace satutil

@@ -1,0 +1,58 @@
+// Plain-text table rendering used by the benchmark harnesses to print
+// paper-style tables (Table I, Table III) and by examples for aligned output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace satutil {
+
+/// Column alignment within a rendered table.
+enum class Align { Left, Right };
+
+/// A simple monospace table builder.
+///
+///   TextTable t({"algorithm", "256^2", "512^2"});
+///   t.add_row({"2R2W", "0.0901", "0.167"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line at this position.
+  void add_separator();
+
+  /// Sets alignment for one column (default: Left for column 0, Right else).
+  void set_align(std::size_t column, Align align);
+
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<Align> align_;
+};
+
+/// Formats a double with `digits` significant digits (paper style: "0.0790").
+[[nodiscard]] std::string format_sig(double value, int digits);
+
+/// Formats a percentage with one decimal, e.g. "5.7%".
+[[nodiscard]] std::string format_pct(double fraction_times_100);
+
+/// Formats a byte/transaction count with thousands separators: 1,048,576.
+[[nodiscard]] std::string format_count(unsigned long long value);
+
+/// Formats "16384" as "16K", "512" as "512" — the paper's size labels.
+[[nodiscard]] std::string format_size_label(std::size_t n);
+
+}  // namespace satutil

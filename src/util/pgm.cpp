@@ -1,0 +1,71 @@
+#include "util/pgm.hpp"
+
+#include <cctype>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace satutil {
+
+void write_pgm(const std::string& path, const PgmImage& img) {
+  SAT_CHECK_MSG(img.pixels.size() == img.rows * img.cols,
+                "pixel buffer size mismatch");
+  std::ofstream os(path, std::ios::binary);
+  SAT_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  os << "P5\n" << img.cols << ' ' << img.rows << "\n255\n";
+  os.write(reinterpret_cast<const char*>(img.pixels.data()),
+           static_cast<std::streamsize>(img.pixels.size()));
+  SAT_CHECK_MSG(os.good(), "write to '" << path << "' failed");
+}
+
+namespace {
+
+/// Reads the next whitespace/comment-delimited token of a PGM header.
+std::string next_token(std::istream& is) {
+  std::string tok;
+  for (;;) {
+    const int c = is.get();
+    SAT_CHECK_MSG(c != EOF, "unexpected end of PGM header");
+    if (c == '#') {  // comment to end of line
+      std::string skip;
+      std::getline(is, skip);
+      continue;
+    }
+    if (std::isspace(c) != 0) {
+      if (!tok.empty()) return tok;
+      continue;
+    }
+    tok += static_cast<char>(c);
+  }
+}
+
+}  // namespace
+
+PgmImage read_pgm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SAT_CHECK_MSG(is.good(), "cannot open '" << path << "'");
+  const std::string magic = next_token(is);
+  SAT_CHECK_MSG(magic == "P5" || magic == "P2",
+                "'" << path << "': not a PGM file (magic " << magic << ")");
+  PgmImage img;
+  img.cols = std::stoul(next_token(is));
+  img.rows = std::stoul(next_token(is));
+  const unsigned long maxval = std::stoul(next_token(is));
+  SAT_CHECK_MSG(maxval > 0 && maxval <= 255,
+                "'" << path << "': unsupported maxval " << maxval);
+  img.pixels.resize(img.rows * img.cols);
+  if (magic == "P5") {
+    is.read(reinterpret_cast<char*>(img.pixels.data()),
+            static_cast<std::streamsize>(img.pixels.size()));
+    SAT_CHECK_MSG(is.gcount() ==
+                      static_cast<std::streamsize>(img.pixels.size()),
+                  "'" << path << "': truncated pixel data");
+  } else {
+    for (auto& px : img.pixels) {
+      px = static_cast<std::uint8_t>(std::stoul(next_token(is)));
+    }
+  }
+  return img;
+}
+
+}  // namespace satutil

@@ -1,0 +1,32 @@
+// Minimal PGM (portable graymap) reader/writer, so the examples can emit
+// viewable artifacts and ingest real images. Supports binary P5 (8-bit) and
+// ASCII P2; writes P5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace satutil {
+
+struct PgmImage {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint8_t> pixels;  ///< row-major, 8-bit gray
+
+  [[nodiscard]] std::uint8_t& at(std::size_t r, std::size_t c) {
+    return pixels[r * cols + c];
+  }
+  [[nodiscard]] std::uint8_t at(std::size_t r, std::size_t c) const {
+    return pixels[r * cols + c];
+  }
+};
+
+/// Writes `img` as binary PGM (P5). Throws CheckError on I/O failure.
+void write_pgm(const std::string& path, const PgmImage& img);
+
+/// Reads a P5 or P2 PGM file (maxval ≤ 255). Throws CheckError on parse
+/// or I/O failure.
+[[nodiscard]] PgmImage read_pgm(const std::string& path);
+
+}  // namespace satutil

@@ -1,0 +1,83 @@
+// Deterministic pseudo-random generation for tests and workloads.
+//
+// xoshiro256** — fast, reproducible across platforms (std::mt19937
+// distributions are not guaranteed identical across standard libraries,
+// which would make recorded experiment outputs non-portable).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace satutil {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : s_) {
+      z += 0x9e3779b97f4a7c15ull;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform value for matrix workloads: integers in [lo, hi] for integral T,
+  /// reals in [lo, hi) for floating T.
+  template <class T>
+  T uniform(T lo, T hi) {
+    if constexpr (std::is_integral_v<T>) {
+      const auto range =
+          static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+      return static_cast<T>(static_cast<std::uint64_t>(lo) +
+                            next_below(range));
+    } else {
+      return static_cast<T>(lo + (hi - lo) * next_double());
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace satutil

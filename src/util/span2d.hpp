@@ -1,0 +1,63 @@
+// Non-owning 2-D view over contiguous row-major storage.
+//
+// The whole library manipulates matrices through this view so the same
+// algorithm code runs on owned matrices, simulator global-memory buffers,
+// and sub-tiles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/check.hpp"
+
+namespace satutil {
+
+template <class T>
+class Span2d {
+ public:
+  Span2d() = default;
+
+  /// Views `rows × cols` elements; consecutive rows are `stride` elements
+  /// apart in memory (stride == cols for a dense matrix).
+  Span2d(T* data, std::size_t rows, std::size_t cols, std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    SAT_DCHECK(stride >= cols);
+  }
+
+  Span2d(T* data, std::size_t rows, std::size_t cols)
+      : Span2d(data, rows, cols, cols) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] T* data() const { return data_; }
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) const {
+    SAT_DCHECK(r < rows_ && c < cols_);
+    return data_[r * stride_ + c];
+  }
+
+  [[nodiscard]] std::span<T> row(std::size_t r) const {
+    SAT_DCHECK(r < rows_);
+    return {data_ + r * stride_, cols_};
+  }
+
+  /// Rectangular sub-view; [r0, r0+nr) × [c0, c0+nc).
+  [[nodiscard]] Span2d subview(std::size_t r0, std::size_t c0, std::size_t nr,
+                               std::size_t nc) const {
+    SAT_DCHECK(r0 + nr <= rows_ && c0 + nc <= cols_);
+    return {data_ + r0 * stride_ + c0, nr, nc, stride_};
+  }
+
+  /// Implicit view-of-const conversion.
+  operator Span2d<const T>() const { return {data_, rows_, cols_, stride_}; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+}  // namespace satutil

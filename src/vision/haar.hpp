@@ -1,0 +1,123 @@
+// Haar-like features over an integral image — the Viola–Jones primitive.
+//
+// A feature is a weighted set of rectangles relative to a window origin;
+// its response is Σ wᵢ · sum(rectᵢ), each term four table lookups. The five
+// classic prototypes (edge ×2, line ×2, four-square) are provided, plus a
+// dense scanner.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/region.hpp"
+#include "util/check.hpp"
+
+namespace satvision {
+
+/// One weighted rectangle of a Haar feature, relative to the window origin.
+struct HaarRect {
+  std::size_t dr, dc;  ///< offset inside the window
+  std::size_t h, w;    ///< extent
+  double weight;
+};
+
+struct HaarFeature {
+  std::vector<HaarRect> rects;
+  std::size_t height = 0;  ///< window extent (all rects must fit)
+  std::size_t width = 0;
+
+  /// Response at window origin (r, c); the window must lie inside the table.
+  template <class T>
+  [[nodiscard]] double evaluate(const sat::Matrix<T>& table, std::size_t r,
+                                std::size_t c) const {
+    SAT_DCHECK(r + height <= table.rows() && c + width <= table.cols());
+    double acc = 0;
+    for (const HaarRect& x : rects) {
+      acc += x.weight *
+             static_cast<double>(sat::region_sum(
+                 table, sat::Rect{r + x.dr, c + x.dc, r + x.dr + x.h,
+                                  c + x.dc + x.w}));
+    }
+    return acc;
+  }
+};
+
+/// Edge feature, horizontal split: bottom − top.
+[[nodiscard]] inline HaarFeature haar_edge_horizontal(std::size_t h,
+                                                      std::size_t w) {
+  SAT_CHECK(h % 2 == 0);
+  return {{{0, 0, h / 2, w, -1.0}, {h / 2, 0, h / 2, w, +1.0}}, h, w};
+}
+
+/// Edge feature, vertical split: right − left.
+[[nodiscard]] inline HaarFeature haar_edge_vertical(std::size_t h,
+                                                    std::size_t w) {
+  SAT_CHECK(w % 2 == 0);
+  return {{{0, 0, h, w / 2, -1.0}, {0, w / 2, h, w / 2, +1.0}}, h, w};
+}
+
+/// Line feature, vertical: sides − 2·middle (three equal columns).
+[[nodiscard]] inline HaarFeature haar_line_vertical(std::size_t h,
+                                                    std::size_t w) {
+  SAT_CHECK(w % 3 == 0);
+  const std::size_t third = w / 3;
+  return {{{0, 0, h, third, +1.0},
+           {0, third, h, third, -2.0},
+           {0, 2 * third, h, third, +1.0}},
+          h, w};
+}
+
+/// Line feature, horizontal: three equal rows.
+[[nodiscard]] inline HaarFeature haar_line_horizontal(std::size_t h,
+                                                      std::size_t w) {
+  SAT_CHECK(h % 3 == 0);
+  const std::size_t third = h / 3;
+  return {{{0, 0, third, w, +1.0},
+           {third, 0, third, w, -2.0},
+           {2 * third, 0, third, w, +1.0}},
+          h, w};
+}
+
+/// Four-square checkerboard feature.
+[[nodiscard]] inline HaarFeature haar_four_square(std::size_t h,
+                                                  std::size_t w) {
+  SAT_CHECK(h % 2 == 0 && w % 2 == 0);
+  const std::size_t hh = h / 2, hw = w / 2;
+  return {{{0, 0, hh, hw, +1.0},
+           {0, hw, hh, hw, -1.0},
+           {hh, 0, hh, hw, -1.0},
+           {hh, hw, hh, hw, +1.0}},
+          h, w};
+}
+
+struct HaarHit {
+  std::size_t row, col;
+  double response;
+};
+
+/// Dense scan of `feature` over the whole table with the given stride;
+/// returns hits with |response| ≥ threshold, strongest first.
+template <class T>
+[[nodiscard]] std::vector<HaarHit> scan_feature(const sat::Matrix<T>& table,
+                                                const HaarFeature& feature,
+                                                double threshold,
+                                                std::size_t stride = 1) {
+  SAT_CHECK(stride >= 1);
+  std::vector<HaarHit> hits;
+  if (feature.height > table.rows() || feature.width > table.cols())
+    return hits;
+  for (std::size_t r = 0; r + feature.height <= table.rows(); r += stride)
+    for (std::size_t c = 0; c + feature.width <= table.cols(); c += stride) {
+      const double v = feature.evaluate(table, r, c);
+      if (std::abs(v) >= threshold) hits.push_back({r, c, v});
+    }
+  std::sort(hits.begin(), hits.end(), [](const HaarHit& a, const HaarHit& b) {
+    return std::abs(a.response) > std::abs(b.response);
+  });
+  return hits;
+}
+
+}  // namespace satvision

@@ -1,0 +1,90 @@
+// Template matching by zero-mean normalized cross-correlation (ZNCC),
+// accelerated with integral images: per candidate window, the window mean
+// and variance come from the MomentTables in O(1); only the cross term
+// needs the O(hw) loop — the standard SAT-accelerated matcher.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "vision/integral_ops.hpp"
+
+namespace satvision {
+
+struct MatchResult {
+  std::size_t row = 0, col = 0;
+  double score = -2.0;  ///< ZNCC in [−1, 1]
+};
+
+/// Finds the best placements of `templ` inside `image`. Returns up to
+/// `top_k` results, best first, suppressing hits that overlap a better one
+/// by more than half the template in either axis.
+template <class T>
+[[nodiscard]] std::vector<MatchResult> match_template(
+    const sat::Matrix<T>& image, const sat::Matrix<T>& templ,
+    std::size_t top_k = 1) {
+  const std::size_t rows = image.rows(), cols = image.cols();
+  const std::size_t th = templ.rows(), tw = templ.cols();
+  SAT_CHECK(th >= 1 && tw >= 1 && th <= rows && tw <= cols);
+  const double area = static_cast<double>(th * tw);
+
+  // Template statistics (once).
+  double tmean = 0;
+  for (std::size_t i = 0; i < th; ++i)
+    for (std::size_t j = 0; j < tw; ++j)
+      tmean += static_cast<double>(templ(i, j));
+  tmean /= area;
+  double tvar = 0;
+  for (std::size_t i = 0; i < th; ++i)
+    for (std::size_t j = 0; j < tw; ++j) {
+      const double d = static_cast<double>(templ(i, j)) - tmean;
+      tvar += d * d;
+    }
+  const double tnorm = std::sqrt(tvar);
+
+  const MomentTables mom = MomentTables::build(image);
+
+  std::vector<MatchResult> all;
+  all.reserve((rows - th + 1) * (cols - tw + 1) / 4 + 1);
+  for (std::size_t r = 0; r + th <= rows; ++r) {
+    for (std::size_t c = 0; c + tw <= cols; ++c) {
+      const sat::Rect rect{r, c, r + th, c + tw};
+      const double wmean = mom.mean(rect);
+      const double wvar = mom.variance(rect) * area;
+      if (wvar <= 1e-12 || tnorm <= 1e-12) continue;
+      double cross = 0;
+      for (std::size_t i = 0; i < th; ++i)
+        for (std::size_t j = 0; j < tw; ++j)
+          cross += (static_cast<double>(templ(i, j)) - tmean) *
+                   static_cast<double>(image(r + i, c + j));
+      // Σ(t−t̄)(x−x̄) = Σ(t−t̄)x  because Σ(t−t̄)·x̄ = 0.
+      const double score = cross / (tnorm * std::sqrt(wvar));
+      all.push_back({r, c, score});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const MatchResult& a,
+                                       const MatchResult& b) {
+    return a.score > b.score;
+  });
+
+  // Greedy non-maximum suppression.
+  std::vector<MatchResult> kept;
+  for (const MatchResult& m : all) {
+    bool clashes = false;
+    for (const MatchResult& k : kept) {
+      const auto dr = m.row > k.row ? m.row - k.row : k.row - m.row;
+      const auto dc = m.col > k.col ? m.col - k.col : k.col - m.col;
+      if (dr < th / 2 + 1 && dc < tw / 2 + 1) {
+        clashes = true;
+        break;
+      }
+    }
+    if (!clashes) kept.push_back(m);
+    if (kept.size() == top_k) break;
+  }
+  return kept;
+}
+
+}  // namespace satvision

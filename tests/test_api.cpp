@@ -1,0 +1,167 @@
+// Tests for the public API: compute_sat on both backends, region queries,
+// validation, and option handling.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "host/sat_cpu.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using sat::Matrix;
+using sat::Options;
+using sat::Rect;
+
+TEST(Api, DefaultOptionsComputeCorrectSat) {
+  const auto input = Matrix<std::int32_t>::random(256, 256, 1, 0, 100);
+  const auto result = sat::compute_sat(input);
+  EXPECT_FALSE(sat::validate_sat(input, result.table).has_value());
+  EXPECT_EQ(result.stats.algorithm, "1R1W-SKSS-LB");
+  EXPECT_EQ(result.stats.kernel_calls, 1u);
+  EXPECT_GE(result.stats.element_reads, 256u * 256u);
+  EXPECT_GT(result.stats.critical_path_us, 0.0);
+}
+
+TEST(Api, EveryAlgorithmThroughTheApi) {
+  const auto input = Matrix<std::int32_t>::random(128, 128, 2, 0, 50);
+  for (auto algo : satalgo::all_sat_algorithms()) {
+    Options opts;
+    opts.algorithm = algo;
+    opts.tile_w = 32;
+    const auto result = sat::compute_sat(input, opts);
+    EXPECT_FALSE(sat::validate_sat(input, result.table).has_value())
+        << satalgo::name_of(algo);
+  }
+}
+
+TEST(Api, CpuBackend) {
+  const auto input = Matrix<float>::random(100, 180, 3, 0.0f, 1.0f);
+  Options opts;
+  opts.backend = sat::Backend::kCpu;
+  opts.cpu_threads = 3;
+  const auto result = sat::compute_sat(input, opts);
+  EXPECT_FALSE(sat::validate_sat(input, result.table).has_value());
+  EXPECT_EQ(result.stats.algorithm, "cpu-parallel");
+}
+
+TEST(Api, NonSquareShapesArePaddedInternally) {
+  const auto input = Matrix<std::int32_t>::random(64, 200, 8, 0, 9);
+  Options opts;
+  opts.tile_w = 64;
+  const auto result = sat::compute_sat(input, opts);
+  EXPECT_EQ(result.table.rows(), 64u);
+  EXPECT_EQ(result.table.cols(), 200u);
+  EXPECT_EQ(result.stats.padded_n, 256u);  // ceil(200/64)*64
+  EXPECT_FALSE(sat::validate_sat(input, result.table).has_value());
+}
+
+TEST(Api, NonTileMultipleIsPaddedInternally) {
+  const auto input = Matrix<std::int32_t>::random(100, 100, 9, 0, 9);
+  Options opts;
+  opts.tile_w = 64;
+  const auto result = sat::compute_sat(input, opts);
+  EXPECT_EQ(result.stats.padded_n, 128u);
+  EXPECT_FALSE(sat::validate_sat(input, result.table).has_value());
+}
+
+TEST(Api, PaddingWorksForEveryAlgorithm) {
+  const auto input = Matrix<std::int32_t>::random(70, 90, 10, 0, 9);
+  for (auto algo : satalgo::all_sat_algorithms()) {
+    Options opts;
+    opts.algorithm = algo;
+    opts.tile_w = 32;
+    const auto result = sat::compute_sat(input, opts);
+    EXPECT_FALSE(sat::validate_sat(input, result.table).has_value())
+        << satalgo::name_of(algo);
+  }
+}
+
+TEST(Api, InclusiveScanMatchesSerial) {
+  std::vector<std::int64_t> v(10000);
+  satutil::Rng rng(4);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.next_below(100));
+  const auto got = sat::inclusive_scan(v);
+  std::int64_t run = 0;
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    run += v[k];
+    ASSERT_EQ(got[k], run) << k;
+  }
+  EXPECT_TRUE(sat::inclusive_scan(std::vector<std::int64_t>{}).empty());
+}
+
+TEST(Api, AutoTunePicksAReasonableConfig) {
+  const auto opts = sat::auto_tune(2048, 2048);
+  // At 2K the model must keep a single-kernel algorithm with a large tile.
+  EXPECT_TRUE(opts.algorithm == satalgo::Algorithm::kSkssLb ||
+              opts.algorithm == satalgo::Algorithm::kSkss);
+  EXPECT_GE(opts.tile_w, 64u);
+  // And the tuned config must actually work.
+  const auto input = Matrix<std::int32_t>::random(512, 512, 11, 0, 9);
+  const auto result = sat::compute_sat(input, sat::auto_tune(512, 512));
+  EXPECT_FALSE(sat::validate_sat(input, result.table).has_value());
+}
+
+TEST(Api, RejectsEmpty) {
+  const Matrix<float> input;
+  EXPECT_THROW((void)sat::compute_sat(input), satutil::CheckError);
+}
+
+TEST(Api, ValidateSatCatchesCorruption) {
+  const auto input = Matrix<std::int32_t>::random(64, 64, 4, 0, 9);
+  auto result = sat::compute_sat(input, [] {
+    Options o;
+    o.tile_w = 32;
+    return o;
+  }());
+  ASSERT_FALSE(sat::validate_sat(input, result.table).has_value());
+  result.table(10, 10) += 1;
+  const auto err = sat::validate_sat(input, result.table);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("(10,10)"), std::string::npos);
+}
+
+TEST(RegionSum, MatchesBruteForceOnRandomRects) {
+  const std::size_t n = 96;
+  const auto input = Matrix<std::int64_t>::random(n, n, 5, 0, 20);
+  Matrix<std::int64_t> table(n, n);
+  sathost::sat_sequential<std::int64_t>(input.view(), table.view());
+
+  satutil::Rng rng(99);
+  for (int t = 0; t < 200; ++t) {
+    std::size_t r0 = rng.next_below(n), r1 = rng.next_below(n + 1);
+    std::size_t c0 = rng.next_below(n), c1 = rng.next_below(n + 1);
+    if (r0 > r1) std::swap(r0, r1);
+    if (c0 > c1) std::swap(c0, c1);
+    std::int64_t brute = 0;
+    for (std::size_t i = r0; i < r1; ++i)
+      for (std::size_t j = c0; j < c1; ++j) brute += input(i, j);
+    EXPECT_EQ(sat::region_sum(table, Rect{r0, c0, r1, c1}), brute);
+  }
+}
+
+TEST(RegionSum, EmptyRectIsZero) {
+  Matrix<std::int64_t> table(4, 4, 1);
+  EXPECT_EQ(sat::region_sum(table, Rect{2, 2, 2, 3}), 0);
+}
+
+TEST(RegionSum, WholeMatrixIsBottomRightEntry) {
+  const auto input = Matrix<std::int64_t>::random(32, 32, 6, 0, 9);
+  Matrix<std::int64_t> table(32, 32);
+  sathost::sat_sequential<std::int64_t>(input.view(), table.view());
+  EXPECT_EQ(sat::region_sum(table, Rect{0, 0, 32, 32}), table(31, 31));
+}
+
+TEST(RegionSum, OutOfBoundsThrows) {
+  Matrix<std::int64_t> table(4, 4, 1);
+  EXPECT_THROW((void)sat::region_sum(table, Rect{0, 0, 5, 4}),
+               satutil::CheckError);
+}
+
+TEST(RegionMean, AveragesCorrectly) {
+  Matrix<std::int64_t> input(4, 4, 3);
+  Matrix<std::int64_t> table(4, 4);
+  sathost::sat_sequential<std::int64_t>(input.view(), table.view());
+  EXPECT_DOUBLE_EQ(sat::region_mean(table, Rect{1, 1, 3, 4}), 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,50 @@
+// Unit tests for the sector-transaction arithmetic.
+#include <gtest/gtest.h>
+
+#include "gpusim/coalescing.hpp"
+
+namespace {
+
+using gpusim::elems_per_sector;
+using gpusim::sectors_contiguous;
+using gpusim::sectors_strided;
+
+TEST(Coalescing, ContiguousFloats) {
+  // 32 floats = 128 bytes = 4 sectors when aligned.
+  EXPECT_EQ(sectors_contiguous(32, 4), 4u);
+  EXPECT_EQ(sectors_contiguous(8, 4), 1u);
+  EXPECT_EQ(sectors_contiguous(0, 4), 0u);
+  EXPECT_EQ(sectors_contiguous(1, 4), 1u);
+}
+
+TEST(Coalescing, ContiguousMisaligned) {
+  // 8 floats starting at element 4 span bytes [16, 48) → 2 sectors.
+  EXPECT_EQ(sectors_contiguous(8, 4, 32, 4), 2u);
+  // Starting at element 8 (byte 32): aligned again.
+  EXPECT_EQ(sectors_contiguous(8, 4, 32, 8), 1u);
+}
+
+TEST(Coalescing, ContiguousDoubles) {
+  EXPECT_EQ(sectors_contiguous(32, 8), 8u);
+  EXPECT_EQ(sectors_contiguous(4, 8), 1u);
+}
+
+TEST(Coalescing, StridedLargeStride) {
+  // Column access of a 1024-wide float matrix: stride 4096 B ≫ sector.
+  EXPECT_EQ(sectors_strided(32, 1024, 4), 32u);
+}
+
+TEST(Coalescing, StridedSmallStride) {
+  // Stride of 2 floats: 32 lanes span 63 elements ≈ 252 B → 8 sectors.
+  EXPECT_EQ(sectors_strided(32, 2, 4), 8u);
+  // Stride 0 (broadcast): one sector.
+  EXPECT_EQ(sectors_strided(32, 0, 4), 1u);
+}
+
+TEST(Coalescing, ElemsPerSector) {
+  EXPECT_EQ(elems_per_sector(4), 8u);
+  EXPECT_EQ(elems_per_sector(8), 4u);
+  EXPECT_EQ(elems_per_sector(1), 32u);
+}
+
+}  // namespace

@@ -1,0 +1,207 @@
+// Property tests on the traffic counters of every algorithm: the paper's
+// optimality argument is stated in exactly these quantities, so they are
+// pinned down across the parameter space.
+#include <gtest/gtest.h>
+
+#include "gpusim/gpusim.hpp"
+#include "sat/registry.hpp"
+
+namespace {
+
+using satalgo::Algorithm;
+using satalgo::SatParams;
+
+struct CounterCase {
+  Algorithm algo;
+  std::size_t n;
+  std::size_t w;
+};
+
+class CounterLaws : public ::testing::TestWithParam<CounterCase> {
+ protected:
+  satalgo::RunResult run() const {
+    const auto& c = GetParam();
+    gpusim::SimContext sim;
+    sim.materialize = false;
+    gpusim::GlobalBuffer<float> a(sim, c.n * c.n, "in"),
+        b(sim, c.n * c.n, "out");
+    SatParams p;
+    p.tile_w = c.w;
+    return satalgo::run_algorithm(sim, c.algo, a, b, c.n, p);
+  }
+};
+
+TEST_P(CounterLaws, EveryElementReadAndWrittenAtLeastOnce) {
+  // The paper's lower-bound argument: any SAT computation must read all n²
+  // inputs and write all n² outputs.
+  const auto t = run().totals();
+  const auto n2 = GetParam().n * GetParam().n;
+  EXPECT_GE(t.element_reads, n2);
+  EXPECT_GE(t.element_writes, n2);
+}
+
+TEST_P(CounterLaws, SectorAccountingIsConsistent) {
+  const auto t = run().totals();
+  // DRAM traffic never exceeds issued traffic.
+  EXPECT_LE(t.dram_read_sectors, t.global_read_sectors);
+  EXPECT_LE(t.dram_write_sectors, t.global_write_sectors);
+  // Issued sectors must cover the useful bytes.
+  EXPECT_GE(t.global_read_sectors * 32, t.global_bytes_read);
+  EXPECT_GE(t.global_write_sectors * 32, t.global_bytes_written);
+  // And never exceed one sector per element (4-byte floats).
+  EXPECT_LE(t.global_read_sectors, t.element_reads);
+  EXPECT_LE(t.global_write_sectors, t.element_writes);
+  // Bytes match elements exactly for float payloads.
+  EXPECT_EQ(t.global_bytes_read, t.element_reads * 4);
+  EXPECT_EQ(t.global_bytes_written, t.element_writes * 4);
+}
+
+TEST_P(CounterLaws, TrafficBoundsMatchTheAlgorithmClass) {
+  const auto& c = GetParam();
+  const auto t = run().totals();
+  const double n2 = double(c.n) * double(c.n);
+  const double reads = double(t.element_reads) / n2;
+  const double writes = double(t.element_writes) / n2;
+  switch (c.algo) {
+    case Algorithm::k2R2W:
+      EXPECT_DOUBLE_EQ(reads, 2.0);
+      EXPECT_DOUBLE_EQ(writes, 2.0);
+      break;
+    case Algorithm::k2R2WOptimal:
+      EXPECT_GE(reads, 2.0);
+      EXPECT_LE(reads, 2.2);
+      EXPECT_GE(writes, 2.0);
+      EXPECT_LE(writes, 2.2);
+      break;
+    case Algorithm::k2R1W:
+      EXPECT_GE(reads, 2.0);
+      EXPECT_LE(reads, 2.0 + 16.0 / double(c.w));
+      EXPECT_GE(writes, 1.0);
+      EXPECT_LE(writes, 1.0 + 16.0 / double(c.w));
+      break;
+    case Algorithm::k1R1W:
+    case Algorithm::kSkss:
+    case Algorithm::kSkssLb:
+      EXPECT_GE(reads, 1.0);
+      EXPECT_LE(reads, 1.0 + 16.0 / double(c.w));
+      EXPECT_GE(writes, 1.0);
+      EXPECT_LE(writes, 1.0 + 16.0 / double(c.w));
+      break;
+    case Algorithm::kHybrid:
+      EXPECT_GE(reads, 1.0);
+      EXPECT_LE(reads, 2.0);  // (1+r) with r < 1
+      EXPECT_GE(writes, 1.0);
+      EXPECT_LE(writes, 1.0 + 16.0 / double(c.w));
+      break;
+    default:
+      break;
+  }
+}
+
+TEST_P(CounterLaws, KernelCallCountMatchesTableOne) {
+  const auto& c = GetParam();
+  const auto r = run();
+  const std::size_t g = c.n / c.w;
+  switch (c.algo) {
+    case Algorithm::k2R2W:
+    case Algorithm::k2R2WOptimal:
+      EXPECT_EQ(r.kernel_calls(), 2u);
+      break;
+    case Algorithm::k2R1W:
+      EXPECT_EQ(r.kernel_calls(), 3u);
+      break;
+    case Algorithm::k1R1W:
+      EXPECT_EQ(r.kernel_calls(), 2 * g - 1);
+      break;
+    case Algorithm::kSkss:
+    case Algorithm::kSkssLb:
+      EXPECT_EQ(r.kernel_calls(), 1u);
+      break;
+    case Algorithm::kHybrid:
+      EXPECT_GE(r.kernel_calls(), 5u);
+      EXPECT_LE(r.kernel_calls(), 2 * g + 5);
+      break;
+    default:
+      break;
+  }
+}
+
+TEST_P(CounterLaws, SoftSyncTrafficOnlyWhereExpected) {
+  const auto& c = GetParam();
+  const auto t = run().totals();
+  // Atomic work-grabbing: only the SKSS family. Status-flag traffic: the
+  // SKSS family plus 2R2W-optimal, whose scan kernels use decoupled
+  // look-back [10,12]. The multi-kernel algorithms synchronize at kernel
+  // boundaries and must use neither.
+  const bool grabs = c.algo == Algorithm::kSkss ||
+                     c.algo == Algorithm::kSkssLb ||
+                     c.algo == Algorithm::k2R2WOptimal;
+  const bool flags = grabs;
+  if (grabs) {
+    EXPECT_GT(t.atomic_ops, 0u);
+  } else {
+    EXPECT_EQ(t.atomic_ops, 0u);
+  }
+  if (flags) {
+    EXPECT_GT(t.flag_writes, 0u);
+  } else {
+    EXPECT_EQ(t.flag_writes, 0u);
+  }
+}
+
+TEST_P(CounterLaws, SkssLbFlagBudgetMatchesSection4) {
+  // §IV: two 8-bit integers per tile; R written ≤ 4 times, C ≤ 2 times.
+  const auto& c = GetParam();
+  if (c.algo != Algorithm::kSkssLb) GTEST_SKIP();
+  const auto t = run().totals();
+  const std::size_t tiles = (c.n / c.w) * (c.n / c.w);
+  EXPECT_LE(t.flag_writes, 6 * tiles);
+  EXPECT_GE(t.flag_writes, 4 * tiles);  // border tiles skip nothing: R gets 4
+  EXPECT_EQ(t.atomic_ops, tiles);
+}
+
+std::vector<CounterCase> counter_cases() {
+  std::vector<CounterCase> cases;
+  for (auto algo : satalgo::all_sat_algorithms())
+    for (std::size_t n : {256ul, 1024ul})
+      for (std::size_t w : {32ul, 128ul}) cases.push_back({algo, n, w});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, CounterLaws,
+                         ::testing::ValuesIn(counter_cases()),
+                         [](const auto& info) {
+                           std::string name = satalgo::name_of(info.param.algo);
+                           for (char& ch : name)
+                             if (!isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           return name + "_n" + std::to_string(info.param.n) +
+                                  "_w" + std::to_string(info.param.w);
+                         });
+
+TEST(CounterLawsSpecial, DuplicationIsExactlyOneReadOneWrite) {
+  gpusim::SimContext sim;
+  sim.materialize = false;
+  const std::size_t n = 2048;
+  gpusim::GlobalBuffer<float> a(sim, n * n, "in"), b(sim, n * n, "out");
+  const auto t =
+      satalgo::run_algorithm(sim, Algorithm::kDuplicate, a, b, n, {}).totals();
+  EXPECT_EQ(t.element_reads, n * n);
+  EXPECT_EQ(t.element_writes, n * n);
+  EXPECT_EQ(t.global_read_sectors, n * n / 8);
+  EXPECT_EQ(t.global_write_sectors, n * n / 8);
+}
+
+TEST(CounterLawsSpecial, LookbackDepthBoundedByGridDiagonal) {
+  gpusim::SimContext sim;
+  sim.materialize = false;
+  const std::size_t n = 2048, w = 32;
+  gpusim::GlobalBuffer<float> a(sim, n * n, "in"), b(sim, n * n, "out");
+  SatParams p;
+  p.tile_w = w;
+  const auto run = satalgo::run_algorithm(sim, Algorithm::kSkssLb, a, b, n, p);
+  EXPECT_LE(run.max_lookback_depth(), n / w);
+  EXPECT_GE(run.max_lookback_depth(), 1u);
+}
+
+}  // namespace

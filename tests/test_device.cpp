@@ -1,0 +1,51 @@
+// Unit tests for DeviceConfig occupancy/residency rules.
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "gpusim/errors.hpp"
+
+namespace {
+
+using gpusim::DeviceConfig;
+
+TEST(Device, TitanVDefaults) {
+  const DeviceConfig d = DeviceConfig::titan_v();
+  EXPECT_EQ(d.num_sms, 80);
+  EXPECT_EQ(d.warp_size, 32);
+  EXPECT_EQ(d.max_threads_per_block, 1024);
+  EXPECT_EQ(d.global_mem_bytes, 12ull << 30);
+}
+
+TEST(Device, BlocksPerSmLimitedByThreads) {
+  const DeviceConfig d = DeviceConfig::titan_v();
+  EXPECT_EQ(d.blocks_per_sm(1024, 0), 2);   // 2048 / 1024
+  EXPECT_EQ(d.blocks_per_sm(256, 0), 8);    // 2048 / 256
+  EXPECT_EQ(d.blocks_per_sm(64, 0), 32);    // capped by max_blocks_per_sm
+}
+
+TEST(Device, BlocksPerSmLimitedByShared) {
+  const DeviceConfig d = DeviceConfig::titan_v();
+  // 64 KiB shared per block: only one fits in the 96 KiB SM.
+  EXPECT_EQ(d.blocks_per_sm(1024, 64 * 1024), 1);
+  EXPECT_EQ(d.blocks_per_sm(256, 16 * 1024), 6);
+}
+
+TEST(Device, ResidentLimit) {
+  const DeviceConfig d = DeviceConfig::titan_v();
+  EXPECT_EQ(d.resident_block_limit(1024, 0), 160u);
+  EXPECT_EQ(d.resident_block_limit(1024, 64 * 1024), 80u);
+}
+
+TEST(Device, RejectsOversizedBlocks) {
+  const DeviceConfig d = DeviceConfig::titan_v();
+  EXPECT_THROW((void)d.blocks_per_sm(2048, 0), gpusim::ResourceError);
+  EXPECT_THROW((void)d.blocks_per_sm(1024, 200 * 1024), gpusim::ResourceError);
+  EXPECT_THROW((void)d.blocks_per_sm(0, 0), gpusim::ResourceError);
+}
+
+TEST(Device, TinyDevice) {
+  const DeviceConfig d = DeviceConfig::tiny(2, 2);
+  EXPECT_EQ(d.resident_block_limit(1024, 0), 4u);
+}
+
+}  // namespace

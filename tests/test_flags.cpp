@@ -1,0 +1,111 @@
+// Tests for the soft-synchronization primitives: status cells, monotonic
+// protocol enforcement, atomics, and global-memory buffers.
+#include <gtest/gtest.h>
+
+#include "gpusim/gpusim.hpp"
+
+namespace {
+
+using namespace gpusim;
+
+TEST(StatusArray, PublishAndRead) {
+  StatusArray s("R", 4);
+  EXPECT_EQ(s.cell(2).value, 0);
+  s.publish(2, 1, 10.0);
+  EXPECT_EQ(s.cell(2).value, 1);
+  EXPECT_DOUBLE_EQ(s.cell(2).publish_us, 10.0);
+  s.publish(2, 4, 20.0);
+  EXPECT_EQ(s.cell(2).value, 4);
+}
+
+TEST(StatusArray, RejectsNonMonotonicWrites) {
+  StatusArray s("R", 1);
+  s.publish(0, 3, 1.0);
+  EXPECT_THROW(s.publish(0, 1, 2.0), ProtocolError);
+  // Same value again is allowed (idempotent republish).
+  EXPECT_NO_THROW(s.publish(0, 3, 3.0));
+}
+
+TEST(StatusArray, CorruptionIsDetectedOnNextPublish) {
+  // Failure injection: a corrupted (out-of-protocol) cell value makes the
+  // owner's next publish non-monotonic, which the protocol check reports.
+  StatusArray s("R", 1);
+  s.publish(0, 1, 1.0);
+  s.corrupt_for_test(0, 200);
+  EXPECT_THROW(s.publish(0, 2, 2.0), ProtocolError);
+}
+
+TEST(StatusArray, Reset) {
+  StatusArray s("R", 2);
+  s.publish(1, 2, 5.0);
+  s.reset();
+  EXPECT_EQ(s.cell(1).value, 0);
+}
+
+TEST(GlobalAtomic, FetchAddSequence) {
+  GlobalAtomicU32 c;
+  EXPECT_EQ(c.fetch_add(), 0u);
+  EXPECT_EQ(c.fetch_add(), 1u);
+  EXPECT_EQ(c.fetch_add(5), 2u);
+  EXPECT_EQ(c.load(), 7u);
+}
+
+TEST(GlobalBuffer, MaterializedReadWrite) {
+  SimContext sim;
+  GlobalBuffer<float> buf(sim, 1024, "t");
+  EXPECT_TRUE(buf.materialized());
+  buf[17] = 3.5f;
+  EXPECT_FLOAT_EQ(buf[17], 3.5f);
+  auto v = buf.view2d(32, 32);
+  EXPECT_FLOAT_EQ(v(0, 17), 3.5f);
+}
+
+TEST(GlobalBuffer, CountOnlyModeAllocatesNoData) {
+  SimContext sim;
+  sim.materialize = false;
+  GlobalBuffer<float> buf(sim, 1 << 28, "big");  // 1 GiB virtual
+  EXPECT_FALSE(buf.materialized());
+  EXPECT_EQ(sim.bytes_allocated(), (std::size_t{1} << 28) * 4);
+}
+
+TEST(GlobalBuffer, CapacityEnforced) {
+  SimContext sim;  // 12 GiB TITAN V
+  sim.materialize = false;
+  GlobalBuffer<float> a(sim, 2ull << 30, "a");  // 8 GiB
+  EXPECT_THROW(GlobalBuffer<float>(sim, 2ull << 30, "b"), ResourceError);
+}
+
+TEST(GlobalBuffer, FreesOnDestruction) {
+  SimContext sim;
+  sim.materialize = false;
+  {
+    GlobalBuffer<float> a(sim, 1024, "a");
+    EXPECT_EQ(sim.bytes_allocated(), 4096u);
+  }
+  EXPECT_EQ(sim.bytes_allocated(), 0u);
+  EXPECT_EQ(sim.peak_bytes_allocated(), 4096u);
+}
+
+TEST(GlobalBuffer, UploadCopiesHostData) {
+  SimContext sim;
+  GlobalBuffer<int> buf(sim, 4, "u");
+  std::vector<int> host = {1, 2, 3, 4};
+  buf.upload(host);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(SimContext, TotalsAggregateAcrossKernels) {
+  SimContext sim(DeviceConfig::tiny());
+  for (int k = 0; k < 3; ++k) {
+    LaunchConfig cfg{.name = "k" + std::to_string(k), .grid_blocks = 2,
+                     .threads_per_block = 32};
+    launch_kernel(sim, cfg, [&](BlockCtx& ctx, std::size_t) -> BlockTask {
+      ctx.write_contiguous(8, 4);
+      co_return;
+    });
+  }
+  EXPECT_EQ(sim.kernel_launches(), 3u);
+  EXPECT_EQ(sim.totals().element_writes, 3 * 2 * 8u);
+}
+
+}  // namespace

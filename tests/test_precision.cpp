@@ -1,0 +1,122 @@
+// Floating-point behaviour of the SAT pipeline: accumulation-error growth,
+// tile-decomposition error vs the sequential order, integer wraparound
+// semantics — the numerical properties a 4-byte-float SAT user (the paper's
+// setting) needs to know.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/api.hpp"
+#include "host/sat_cpu.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using sat::Matrix;
+
+/// Max relative error of a float SAT against the double reference.
+double max_rel_error_vs_double(const Matrix<float>& input,
+                               const Matrix<float>& table) {
+  Matrix<double> in_d(input.rows(), input.cols());
+  for (std::size_t i = 0; i < input.rows(); ++i)
+    for (std::size_t j = 0; j < input.cols(); ++j) in_d(i, j) = input(i, j);
+  Matrix<double> ref(input.rows(), input.cols());
+  sathost::sat_sequential<double>(in_d.view(), ref.view());
+  double worst = 0;
+  for (std::size_t i = 0; i < input.rows(); ++i)
+    for (std::size_t j = 0; j < input.cols(); ++j) {
+      const double scale = std::max(1.0, std::abs(ref(i, j)));
+      worst = std::max(worst, std::abs(table(i, j) - ref(i, j)) / scale);
+    }
+  return worst;
+}
+
+TEST(Precision, FloatErrorStaysTinyForPaperSizedWorkloads) {
+  // Uniform [0,1) floats: at 512² the running totals reach ~1.3e5; float has
+  // ~7 decimal digits, so relative error must stay ≲ 1e-4 per the standard
+  // error growth of summation. (This is why the paper can use 4-byte floats
+  // at 32K² at all: relative error grows ~√(n²) for random signs but only
+  // the *relative* error matters for region sums of comparable scale.)
+  const auto input = Matrix<float>::random(512, 512, 3, 0.0f, 1.0f);
+  const auto result = sat::compute_sat(input, [] {
+    sat::Options o;
+    o.tile_w = 64;
+    return o;
+  }());
+  EXPECT_LT(max_rel_error_vs_double(input, result.table), 1e-4);
+}
+
+TEST(Precision, TiledAccumulationIsNoWorseThanSequentialOrder) {
+  // Tiled algorithms sum in a different association order; their error
+  // must be of the same magnitude as the sequential float SAT's.
+  const auto input = Matrix<float>::random(256, 256, 11, 0.0f, 1.0f);
+  Matrix<float> seq(256, 256);
+  sathost::sat_sequential<float>(input.view(), seq.view());
+  const double seq_err = max_rel_error_vs_double(input, seq);
+  for (auto algo : {satalgo::Algorithm::kSkssLb, satalgo::Algorithm::k2R1W,
+                    satalgo::Algorithm::k2R2WOptimal}) {
+    sat::Options o;
+    o.algorithm = algo;
+    o.tile_w = 32;
+    const auto result = sat::compute_sat(input, o);
+    const double err = max_rel_error_vs_double(input, result.table);
+    EXPECT_LT(err, 10 * seq_err + 1e-6) << satalgo::name_of(algo);
+  }
+}
+
+TEST(Precision, ErrorGrowsSublinearlyWithSize) {
+  // Relative error at 4× the elements should grow far less than 4× —
+  // random-sign cancellation keeps it near √ growth.
+  double err_small = 0, err_large = 0;
+  for (auto [n, out] : {std::pair<std::size_t, double*>{128, &err_small},
+                        std::pair<std::size_t, double*>{512, &err_large}}) {
+    const auto input = Matrix<float>::random(n, n, 5, 0.0f, 1.0f);
+    const auto result = sat::compute_sat(input, [] {
+      sat::Options o;
+      o.tile_w = 64;
+      return o;
+    }());
+    *out = max_rel_error_vs_double(input, result.table);
+  }
+  EXPECT_LT(err_large, 16 * err_small + 1e-7);
+}
+
+TEST(Precision, UnsignedWraparoundIsWellDefinedAndConsistent) {
+  // uint32 overflow wraps mod 2^32 in both the oracle and the simulated
+  // pipeline — region sums of wrapped tables still reconstruct exactly.
+  const std::size_t n = 64;
+  auto input = Matrix<std::uint32_t>::random(n, n, 9, 0u, 0xF0000000u);
+  sat::Options o;
+  o.tile_w = 32;
+  const auto result = sat::compute_sat(input, o);
+  EXPECT_FALSE(sat::validate_sat(input, result.table).has_value());
+  // Region reconstruction under wraparound: brute sum mod 2^32 matches.
+  std::uint32_t brute = 0;
+  for (std::size_t i = 10; i < 30; ++i)
+    for (std::size_t j = 5; j < 25; ++j) brute += input(i, j);
+  EXPECT_EQ(sat::region_sum(result.table, {10, 5, 30, 25}), brute);
+}
+
+TEST(Precision, DoubleSatIsExactForIntegerValuedInputs) {
+  // Doubles represent integers ≤ 2^53 exactly; an integer-valued double
+  // workload must produce bit-exact SATs through every algorithm.
+  const std::size_t n = 128;
+  Matrix<double> input(n, n);
+  satutil::Rng rng(13);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      input(i, j) = double(rng.next_below(1000));
+  for (auto algo : {satalgo::Algorithm::kSkssLb, satalgo::Algorithm::kSkss}) {
+    sat::Options o;
+    o.algorithm = algo;
+    o.tile_w = 64;
+    const auto result = sat::compute_sat(input, o);
+    Matrix<double> ref(n, n);
+    sathost::sat_sequential<double>(input.view(), ref.view());
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        ASSERT_EQ(result.table(i, j), ref(i, j)) << satalgo::name_of(algo);
+  }
+}
+
+}  // namespace

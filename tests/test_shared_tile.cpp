@@ -1,0 +1,104 @@
+// Unit + property tests for the diagonal shared-memory arrangement (§II):
+// conflict-freedom of row-wise and column-wise warp access.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gpusim/shared.hpp"
+
+namespace {
+
+using gpusim::SharedAccessDir;
+using gpusim::SharedArrangement;
+using gpusim::SharedTile;
+
+class ArrangementTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, SharedArrangement>> {};
+
+TEST_P(ArrangementTest, OffsetsAreAPermutation) {
+  const auto [w, arr] = GetParam();
+  SharedTile<int> tile(w, arr, /*materialize=*/false);
+  std::set<std::size_t> offsets;
+  for (std::size_t i = 0; i < w; ++i)
+    for (std::size_t j = 0; j < w; ++j) offsets.insert(tile.offset(i, j));
+  EXPECT_EQ(offsets.size(), w * w);
+  EXPECT_EQ(*offsets.rbegin(), w * w - 1);
+}
+
+TEST_P(ArrangementTest, RowWarpAccessBanks) {
+  const auto [w, arr] = GetParam();
+  SharedTile<int> tile(w, arr, false);
+  // Any 32 consecutive elements of a row must hit 32 distinct banks —
+  // true in both arrangements.
+  for (std::size_t i = 0; i < w; ++i) {
+    for (std::size_t j0 = 0; j0 + 32 <= w; j0 += 32) {
+      std::set<std::size_t> banks;
+      for (std::size_t k = 0; k < 32; ++k) banks.insert(tile.bank(i, j0 + k));
+      EXPECT_EQ(banks.size(), 32u) << "row " << i << " at " << j0;
+    }
+  }
+}
+
+TEST_P(ArrangementTest, ColumnWarpAccessBanks) {
+  const auto [w, arr] = GetParam();
+  SharedTile<int> tile(w, arr, false);
+  // 32 consecutive elements of a column: conflict-free only diagonally.
+  std::size_t worst = 0;
+  for (std::size_t j = 0; j < w; ++j) {
+    for (std::size_t i0 = 0; i0 + 32 <= w; i0 += 32) {
+      std::map<std::size_t, std::size_t> bank_load;
+      for (std::size_t k = 0; k < 32; ++k) ++bank_load[tile.bank(i0 + k, j)];
+      for (const auto& [bank, load] : bank_load) worst = std::max(worst, load);
+    }
+  }
+  if (arr == SharedArrangement::Diagonal) {
+    EXPECT_EQ(worst, 1u);
+  } else {
+    EXPECT_EQ(worst, 32u);  // whole warp lands in one bank
+  }
+  EXPECT_EQ(worst, gpusim::shared_conflict_factor(arr, SharedAccessDir::Column, w));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, ArrangementTest,
+    ::testing::Combine(::testing::Values<std::size_t>(32, 64, 128),
+                       ::testing::Values(SharedArrangement::RowMajor,
+                                         SharedArrangement::Diagonal)),
+    [](const auto& info) {
+      return "W" + std::to_string(std::get<0>(info.param)) + "_" +
+             (std::get<1>(info.param) == SharedArrangement::Diagonal
+                  ? "diagonal"
+                  : "rowmajor");
+    });
+
+TEST(SharedTile, MaterializedRoundTrip) {
+  SharedTile<int> tile(32, SharedArrangement::Diagonal, true);
+  for (std::size_t i = 0; i < 32; ++i)
+    for (std::size_t j = 0; j < 32; ++j) tile.at(i, j) = int(i * 100 + j);
+  for (std::size_t i = 0; i < 32; ++i)
+    for (std::size_t j = 0; j < 32; ++j)
+      EXPECT_EQ(tile.at(i, j), int(i * 100 + j));
+}
+
+TEST(SharedTile, ConflictFactors) {
+  using gpusim::shared_conflict_factor;
+  EXPECT_EQ(shared_conflict_factor(SharedArrangement::RowMajor,
+                                   SharedAccessDir::Row, 64),
+            1u);
+  EXPECT_EQ(shared_conflict_factor(SharedArrangement::RowMajor,
+                                   SharedAccessDir::Column, 64),
+            32u);
+  EXPECT_EQ(shared_conflict_factor(SharedArrangement::Diagonal,
+                                   SharedAccessDir::Column, 64),
+            1u);
+}
+
+TEST(SharedTile, RejectsBadWidth) {
+  EXPECT_THROW((SharedTile<int>(33, SharedArrangement::Diagonal, false)),
+               satutil::CheckError);
+  EXPECT_THROW((SharedTile<int>(0, SharedArrangement::Diagonal, false)),
+               satutil::CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Tests for the diagonal-major tile serial numbering (Figure 9) and its
+// deadlock-freedom invariant.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sat/tiles.hpp"
+
+namespace {
+
+using satalgo::TileGrid;
+
+TEST(TileGrid, Figure9Exact) {
+  // The 5×5 example of Figure 9, verbatim.
+  const std::size_t expect[5][5] = {{0, 1, 3, 6, 10},
+                                    {2, 4, 7, 11, 15},
+                                    {5, 8, 12, 16, 19},
+                                    {9, 13, 17, 20, 22},
+                                    {14, 18, 21, 23, 24}};
+  TileGrid grid(5 * 32, 32);
+  ASSERT_EQ(grid.g(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      EXPECT_EQ(grid.serial(i, j), expect[i][j]) << i << "," << j;
+}
+
+class SerialRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SerialRoundTrip, BijectionAndInverse) {
+  const std::size_t g = GetParam();
+  TileGrid grid(g * 32, 32);
+  std::set<std::size_t> seen;
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      const std::size_t s = grid.serial(i, j);
+      EXPECT_LT(s, grid.count());
+      EXPECT_TRUE(seen.insert(s).second) << "duplicate serial " << s;
+      const auto [ri, rj] = grid.tile_of_serial(s);
+      EXPECT_EQ(ri, i);
+      EXPECT_EQ(rj, j);
+    }
+  }
+  EXPECT_EQ(seen.size(), grid.count());
+}
+
+TEST_P(SerialRoundTrip, DiagonalMajorOrder) {
+  // Serials sort primarily by anti-diagonal: d(s) is non-decreasing in s.
+  const std::size_t g = GetParam();
+  TileGrid grid(g * 32, 32);
+  std::size_t prev_d = 0;
+  for (std::size_t s = 0; s < grid.count(); ++s) {
+    const auto [i, j] = grid.tile_of_serial(s);
+    EXPECT_GE(i + j, prev_d);
+    prev_d = i + j;
+  }
+}
+
+TEST_P(SerialRoundTrip, LookBackDependenciesPointBackwards) {
+  // The §IV deadlock-freedom invariant: every dependency of tile (I,J) —
+  // left row walk, up column walk, diagonal walk — has a smaller serial.
+  const std::size_t g = GetParam();
+  TileGrid grid(g * 32, 32);
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      const std::size_t s = grid.serial(i, j);
+      for (std::size_t jj = 0; jj < j; ++jj)
+        EXPECT_LT(grid.serial(i, jj), s);
+      for (std::size_t ii = 0; ii < i; ++ii)
+        EXPECT_LT(grid.serial(ii, j), s);
+      for (std::size_t k = 1; k <= std::min(i, j); ++k)
+        EXPECT_LT(grid.serial(i - k, j - k), s);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, SerialRoundTrip,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 8, 13, 32));
+
+TEST(TileGrid, DiagonalSizes) {
+  TileGrid grid(5 * 32, 32);
+  EXPECT_EQ(grid.diagonal_size(0), 1u);
+  EXPECT_EQ(grid.diagonal_size(4), 5u);
+  EXPECT_EQ(grid.diagonal_size(8), 1u);
+  std::size_t total = 0;
+  for (std::size_t d = 0; d < 9; ++d) total += grid.diagonal_size(d);
+  EXPECT_EQ(total, 25u);
+}
+
+TEST(TileGrid, RejectsNonMultiple) {
+  EXPECT_THROW(TileGrid(100, 32), satutil::CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Unit tests for the util module: Span2d, Rng, formatting, argparse.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/argparse.hpp"
+#include "util/check.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/span2d.hpp"
+
+namespace {
+
+using satutil::Align;
+using satutil::ArgParser;
+using satutil::Rng;
+using satutil::Span2d;
+using satutil::TextTable;
+
+TEST(Span2d, IndexingAndRows) {
+  std::vector<int> v(12);
+  for (int i = 0; i < 12; ++i) v[i] = i;
+  Span2d<int> s(v.data(), 3, 4);
+  EXPECT_EQ(s(0, 0), 0);
+  EXPECT_EQ(s(1, 2), 6);
+  EXPECT_EQ(s(2, 3), 11);
+  EXPECT_EQ(s.row(1)[0], 4);
+  EXPECT_EQ(s.row(1).size(), 4u);
+}
+
+TEST(Span2d, SubviewSharesStorage) {
+  std::vector<int> v(16, 0);
+  Span2d<int> s(v.data(), 4, 4);
+  Span2d<int> sub = s.subview(1, 1, 2, 2);
+  sub(0, 0) = 42;
+  EXPECT_EQ(s(1, 1), 42);
+  EXPECT_EQ(sub.rows(), 2u);
+  EXPECT_EQ(sub.stride(), 4u);
+}
+
+TEST(Span2d, ConstConversion) {
+  std::vector<int> v(4, 7);
+  Span2d<int> s(v.data(), 2, 2);
+  Span2d<const int> cs = s;
+  EXPECT_EQ(cs(1, 1), 7);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int differ = 0;
+  for (int i = 0; i < 16; ++i) differ += a.next_u64() != b.next_u64();
+  EXPECT_GT(differ, 12);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(13), 13u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng r(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformFloatInRange) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = r.uniform<float>(0.0f, 1.0f);
+    EXPECT_GE(x, 0.0f);
+    EXPECT_LT(x, 1.0f);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(5);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.uniform<int>(3, 5));
+  EXPECT_EQ(seen, (std::set<int>{3, 4, 5}));
+}
+
+TEST(Format, SigDigits) {
+  EXPECT_EQ(satutil::format_sig(0.078999, 3), "0.079");
+  EXPECT_EQ(satutil::format_sig(14.7, 3), "14.7");
+  EXPECT_EQ(satutil::format_sig(0.0, 3), "0");
+}
+
+TEST(Format, Pct) { EXPECT_EQ(satutil::format_pct(5.69), "5.7%"); }
+
+TEST(Format, Count) {
+  EXPECT_EQ(satutil::format_count(0), "0");
+  EXPECT_EQ(satutil::format_count(999), "999");
+  EXPECT_EQ(satutil::format_count(1000), "1,000");
+  EXPECT_EQ(satutil::format_count(1234567), "1,234,567");
+}
+
+TEST(Format, SizeLabel) {
+  EXPECT_EQ(satutil::format_size_label(256), "256");
+  EXPECT_EQ(satutil::format_size_label(1024), "1K");
+  EXPECT_EQ(satutil::format_size_label(32768), "32K");
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"bb", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name | value |"), std::string::npos);
+  EXPECT_NE(out.find("| a    |     1 |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), satutil::CheckError);
+}
+
+TEST(ArgParser, ParsesValuesAndDefaults) {
+  ArgParser p("prog", "test");
+  p.add("size", "1024", "matrix size").add_flag("verbose", "chatty");
+  const char* argv[] = {"prog", "--size", "2048", "--verbose"};
+  ASSERT_TRUE(p.parse(4, argv));
+  EXPECT_EQ(p.get_int("size"), 2048);
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(ArgParser, EqualsSyntaxAndDefaults) {
+  ArgParser p("prog", "test");
+  p.add("w", "64", "tile width");
+  const char* argv[] = {"prog", "--w=128"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_EQ(p.get_int("w"), 128);
+
+  ArgParser q("prog", "test");
+  q.add("w", "64", "tile width");
+  const char* argv2[] = {"prog"};
+  ASSERT_TRUE(q.parse(1, argv2));
+  EXPECT_EQ(q.get_int("w"), 64);
+}
+
+TEST(ArgParser, RejectsUnknown) {
+  ArgParser p("prog", "test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_FALSE(p.parse(3, argv));
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    SAT_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const satutil::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Unit tests for warp-level collective primitives and their cost accounting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gpusim/gpusim.hpp"
+
+namespace {
+
+using namespace gpusim;
+
+class WarpFixture : public ::testing::Test {
+ protected:
+  SimContext sim{DeviceConfig::tiny()};
+  Counters counters;
+  SimCostParams cost = SimCostParams::for_device(sim.device);
+  BlockCtx ctx{0, 1024, cost, counters, 0.0};
+};
+
+TEST_F(WarpFixture, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(2), 1u);
+  EXPECT_EQ(log2_exact(32), 5u);
+  EXPECT_EQ(log2_exact(1024), 10u);
+}
+
+TEST_F(WarpFixture, WarpScanCostIsLogRounds) {
+  charge_warp_scan(ctx, 32);
+  EXPECT_EQ(counters.shfl_ops, 5u);   // log2(32)
+  EXPECT_EQ(counters.warp_alu_ops, 5u);
+  charge_warp_scan(ctx, 8);
+  EXPECT_EQ(counters.shfl_ops, 5u + 3u);
+}
+
+TEST_F(WarpFixture, BlockScanComputesInclusivePrefix) {
+  std::vector<std::int64_t> v(100);
+  std::iota(v.begin(), v.end(), 1);
+  block_inclusive_scan<std::int64_t>(ctx, v);
+  std::int64_t run = 0;
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    run += std::int64_t(k + 1);
+    EXPECT_EQ(v[k], run);
+  }
+  EXPECT_GT(counters.shfl_ops, 0u);
+}
+
+TEST_F(WarpFixture, BlockScanEmptyIsNoop) {
+  std::vector<int> v;
+  block_inclusive_scan<int>(ctx, v);
+  EXPECT_EQ(counters.shfl_ops, 0u);
+}
+
+TEST_F(WarpFixture, BlockReduceSumsAndCharges) {
+  std::vector<std::int64_t> v(64, 3);
+  EXPECT_EQ(block_reduce_sum<std::int64_t>(ctx, v), 192);
+  // Two warps plus one aggregation scan.
+  EXPECT_EQ(counters.shfl_ops, 3 * 5u);
+}
+
+TEST_F(WarpFixture, ClockAdvancesWithWork) {
+  const double before = ctx.now_us();
+  charge_warp_scan(ctx, 32);
+  EXPECT_GT(ctx.now_us(), before);
+}
+
+TEST_F(WarpFixture, SyncCountsAndCosts) {
+  const double before = ctx.now_us();
+  ctx.sync();
+  ctx.sync();
+  EXPECT_EQ(counters.syncthreads, 2u);
+  EXPECT_GT(ctx.now_us(), before);
+}
+
+TEST_F(WarpFixture, StridedWalkChargesMoreThanContiguous) {
+  Counters c1, c2;
+  BlockCtx a(0, 1024, cost, c1, 0.0), b(1, 1024, cost, c2, 0.0);
+  a.read_contiguous(4096, 4);
+  b.read_strided_walk(4096, 4, /*l2_reuse=*/true);
+  EXPECT_EQ(c1.global_read_sectors, 512u);
+  EXPECT_EQ(c2.global_read_sectors, 4096u);   // one sector per element
+  EXPECT_EQ(c2.dram_read_sectors, 512u);      // L2 reuse folds it back
+  EXPECT_GT(b.now_us(), a.now_us());          // issue cost still higher
+}
+
+TEST_F(WarpFixture, StridedWithoutL2ReuseChargesFullDram) {
+  Counters c;
+  BlockCtx b(0, 1024, cost, c, 0.0);
+  b.write_strided_walk(1000, 4, /*l2_reuse=*/false);
+  EXPECT_EQ(c.dram_write_sectors, 1000u);
+}
+
+}  // namespace

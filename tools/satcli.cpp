@@ -1,0 +1,141 @@
+// satcli — command-line front end for the library.
+//
+//   satcli --mode compute --rows 512 --cols 768 --algorithm skss_lb --w 64
+//   satcli --mode cell --n 8192 --algorithm skss_lb --w 128
+//   satcli --mode tune --rows 4096 --cols 4096
+//   satcli --mode trace --n 2048 --w 128 --out trace.csv
+//
+// modes:
+//   compute  run an algorithm on a random matrix, validate, print stats
+//   cell     price one Table III cell with the performance model
+//   tune     pick the fastest (algorithm, W) for a shape
+//   trace    dump the per-block timeline of a SKSS-LB run as CSV
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/api.hpp"
+#include "model/table3.hpp"
+#include "util/argparse.hpp"
+#include "util/format.hpp"
+
+namespace {
+
+satalgo::Algorithm parse_algorithm(const std::string& name) {
+  if (name == "duplicate") return satalgo::Algorithm::kDuplicate;
+  if (name == "2r2w") return satalgo::Algorithm::k2R2W;
+  if (name == "2r2w_opt") return satalgo::Algorithm::k2R2WOptimal;
+  if (name == "2r1w") return satalgo::Algorithm::k2R1W;
+  if (name == "1r1w") return satalgo::Algorithm::k1R1W;
+  if (name == "hybrid") return satalgo::Algorithm::kHybrid;
+  if (name == "skss") return satalgo::Algorithm::kSkss;
+  if (name == "skss_lb") return satalgo::Algorithm::kSkssLb;
+  SAT_CHECK_MSG(false, "unknown algorithm '" << name << "'");
+  return satalgo::Algorithm::kSkssLb;
+}
+
+int mode_compute(const satutil::ArgParser& args) {
+  const auto rows = static_cast<std::size_t>(args.get_int("rows"));
+  const auto cols = static_cast<std::size_t>(args.get_int("cols"));
+  const auto input = sat::Matrix<float>::random(
+      rows, cols, static_cast<std::uint64_t>(args.get_int("seed")), 0.0f, 1.0f);
+  sat::Options opts;
+  opts.algorithm = parse_algorithm(args.get("algorithm"));
+  opts.tile_w = static_cast<std::size_t>(args.get_int("w"));
+  const auto result = sat::compute_sat(input, opts);
+  const auto err = sat::validate_sat(input, result.table);
+  std::printf("%s on %zux%zu (padded to %zu-aligned): %s\n",
+              result.stats.algorithm.c_str(), rows, cols,
+              result.stats.padded_n,
+              err ? err->c_str() : "validated against CPU oracle");
+  std::printf("kernels %zu | threads %s | reads %s | writes %s | model %.4f ms\n",
+              result.stats.kernel_calls,
+              satutil::format_count(result.stats.max_threads).c_str(),
+              satutil::format_count(result.stats.element_reads).c_str(),
+              satutil::format_count(result.stats.element_writes).c_str(),
+              result.stats.critical_path_us / 1e3);
+  return err ? 1 : 0;
+}
+
+int mode_cell(const satutil::ArgParser& args) {
+  const auto n = static_cast<std::size_t>(args.get_int("n"));
+  const auto algo = parse_algorithm(args.get("algorithm"));
+  const auto w = static_cast<std::size_t>(args.get_int("w"));
+  const auto cell = satmodel::run_cell(n, algo, w, /*materialize=*/false);
+  std::printf("%s, n=%zu, W=%zu: model %.4f ms", satalgo::name_of(algo), n, w,
+              cell.model_ms);
+  if (cell.paper_ms) std::printf(" (paper: %.4f ms)", *cell.paper_ms);
+  std::printf("\nkernels %zu | max threads %s | reads/n^2 %.4f | "
+              "writes/n^2 %.4f | max LB depth %zu\n",
+              cell.kernel_calls,
+              satutil::format_count(cell.max_threads).c_str(),
+              double(cell.totals.element_reads) / double(n) / double(n),
+              double(cell.totals.element_writes) / double(n) / double(n),
+              cell.max_lookback_depth);
+  return 0;
+}
+
+int mode_tune(const satutil::ArgParser& args) {
+  const auto rows = static_cast<std::size_t>(args.get_int("rows"));
+  const auto cols = static_cast<std::size_t>(args.get_int("cols"));
+  const auto opts = sat::auto_tune(rows, cols);
+  std::printf("best for %zux%zu: %s with W=%zu\n", rows, cols,
+              satalgo::name_of(opts.algorithm), opts.tile_w);
+  return 0;
+}
+
+int mode_trace(const satutil::ArgParser& args) {
+  const auto n = static_cast<std::size_t>(args.get_int("n"));
+  const auto w = static_cast<std::size_t>(args.get_int("w"));
+  gpusim::SimContext sim;
+  sim.materialize = false;
+  gpusim::GlobalBuffer<float> a(sim, n * n, "in"), b(sim, n * n, "out");
+  satalgo::SatParams p;
+  p.tile_w = w;
+  p.record_trace = true;
+  const auto run =
+      satalgo::run_algorithm(sim, satalgo::Algorithm::kSkssLb, a, b, n, p);
+  const satalgo::TileGrid grid(n, w);
+
+  const std::string out = args.get("out");
+  std::ofstream os(out);
+  if (!os) {
+    std::fprintf(stderr, "cannot open '%s'\n", out.c_str());
+    return 1;
+  }
+  os << "serial,tile_i,tile_j,start_us,finish_us,wait_us\n";
+  for (const auto& t : run.reports[0].trace) {
+    const auto [ti, tj] = grid.tile_of_serial(t.logical_block);
+    os << t.logical_block << ',' << ti << ',' << tj << ',' << t.start_us
+       << ',' << t.finish_us << ',' << t.wait_us << '\n';
+  }
+  std::printf("wrote %zu block records to %s (critical path %.1f us)\n",
+              run.reports[0].trace.size(), out.c_str(),
+              run.reports[0].critical_path_us);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  satutil::ArgParser args("satcli", "summed-area-table command-line tool");
+  args.add("mode", "compute", "compute | cell | tune | trace")
+      .add("rows", "1024", "matrix rows")
+      .add("cols", "1024", "matrix cols")
+      .add("n", "1024", "matrix side (cell/trace modes)")
+      .add("algorithm", "skss_lb",
+           "duplicate|2r2w|2r2w_opt|2r1w|1r1w|hybrid|skss|skss_lb")
+      .add("w", "64", "tile width")
+      .add("seed", "1", "workload seed")
+      .add("out", "trace.csv", "output file (trace mode)");
+  if (!args.parse(argc, argv)) return 1;
+
+  const std::string mode = args.get("mode");
+  if (mode == "compute") return mode_compute(args);
+  if (mode == "cell") return mode_cell(args);
+  if (mode == "tune") return mode_tune(args);
+  if (mode == "trace") return mode_trace(args);
+  std::fprintf(stderr, "unknown mode '%s'\n%s", mode.c_str(),
+               args.usage().c_str());
+  return 1;
+}
