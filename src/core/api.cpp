@@ -30,6 +30,7 @@ Result<T> compute_on_simulated_gpu(const Matrix<T>& input,
   const std::size_t cols = align(input.cols());
 
   gpusim::SimContext sim(opts.device);
+  sim.checker = opts.checker;
   gpusim::GlobalBuffer<T> a(sim, rows * cols, "input");
   gpusim::GlobalBuffer<T> b(sim, rows * cols, "sat");
   if (rows == input.rows() && cols == input.cols()) {
@@ -48,6 +49,8 @@ Result<T> compute_on_simulated_gpu(const Matrix<T>& input,
   params.order = opts.order;
   params.seed = opts.seed;
   params.hybrid_r = opts.hybrid_r;
+  params.inject = opts.inject;
+  params.inject_serial = opts.inject_serial;
 
   satalgo::RunResult run = satalgo::run_algorithm_rect(
       sim, opts.algorithm, a, b, rows, cols, params);
@@ -120,6 +123,7 @@ BatchResult<T> compute_sat_batch(const std::vector<Matrix<T>>& inputs,
   const std::size_t batch = inputs.size();
 
   gpusim::SimContext sim(opts.device);
+  sim.checker = opts.checker;
   gpusim::GlobalBuffer<T> a(sim, batch * rows * cols, "batch.input");
   gpusim::GlobalBuffer<T> b(sim, batch * rows * cols, "batch.sat");
   if (sim.materialize) {
@@ -173,6 +177,7 @@ std::vector<T> inclusive_scan(const std::vector<T>& values,
                               const Options& opts) {
   if (values.empty()) return {};
   gpusim::SimContext sim(opts.device);
+  sim.checker = opts.checker;
   gpusim::GlobalBuffer<T> src(sim, values.size(), "scan.src");
   gpusim::GlobalBuffer<T> dst(sim, values.size(), "scan.dst");
   src.upload(values);

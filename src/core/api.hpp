@@ -43,6 +43,16 @@ struct Options {
 
   /// CPU backend: worker threads (0 = hardware concurrency).
   std::size_t cpu_threads = 0;
+
+  /// Optional soft-sync protocol verifier (not owned). When set, the
+  /// simulated-GPU backend records a happens-before graph of the run and
+  /// throws gpusim::ProtocolError on races, unordered dependencies, or
+  /// protocol state-machine violations. Ignored by the CPU backend.
+  gpusim::ProtocolChecker* checker = nullptr;
+
+  /// Fault injection for checker tests (forwarded to SatParams).
+  satalgo::FaultInjection inject = satalgo::FaultInjection::kNone;
+  std::size_t inject_serial = 0;
 };
 
 /// Run statistics (simulated-GPU backend; zeros for the CPU backend except

@@ -9,10 +9,13 @@
 #include <cstddef>
 #include <cstdint>
 
+#include <string>
+
 #include "gpusim/coalescing.hpp"
 #include "gpusim/cost.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/flags.hpp"
+#include "gpusim/protocol_checker.hpp"
 #include "gpusim/task.hpp"
 #include "util/check.hpp"
 
@@ -130,11 +133,38 @@ class BlockCtx {
   void flag_publish(StatusArray& arr, std::size_t idx, std::uint8_t value) {
     counters_->flag_writes += 1;
     clock_us_ += cost_->us_per_flag_write;
+    if (checker_ != nullptr)
+      checker_->on_flag_publish(block_id_, arr, idx, value);
     arr.publish(idx, value, clock_us_);
     if (publish_hook_ != nullptr) publish_hook_->on_flag_publish(arr, idx);
   }
 
   void set_publish_hook(FlagPublishHook* hook) { publish_hook_ = hook; }
+
+  // --- Protocol checker events (no-ops when no checker is attached) -----------
+
+  void set_checker(ProtocolChecker* checker) { checker_ = checker; }
+
+  /// Announces that this block owns the tile with row-major index `tile`
+  /// and serial order σ = `serial` (call right after self-assignment,
+  /// before the first dependency wait).
+  void note_tile(std::size_t tile, std::size_t serial) {
+    if (checker_ != nullptr) checker_->on_tile_claim(block_id_, tile, serial);
+  }
+
+  /// Reports a write / read of `count` elements at `offset` in the region
+  /// keyed by `buf` (usually a GlobalBuffer address). Pure analysis events:
+  /// no cost or counter is charged.
+  void note_region_write(const void* buf, const std::string& name,
+                         std::size_t offset, std::size_t count) {
+    if (checker_ != nullptr)
+      checker_->on_region_write(block_id_, buf, name, offset, count);
+  }
+  void note_region_read(const void* buf, const std::string& name,
+                        std::size_t offset, std::size_t count) {
+    if (checker_ != nullptr)
+      checker_->on_region_read(block_id_, buf, name, offset, count);
+  }
 
   /// Awaitable for `co_await ctx.wait_flag_at_least(R, idx, 1)`. Suspends
   /// until the cell reaches `min_value`; resumes with the observed value and
@@ -146,6 +176,8 @@ class BlockCtx {
     std::uint8_t min_value;
 
     bool await_ready() const {
+      if (ctx.checker_ != nullptr)
+        ctx.checker_->on_flag_wait(ctx.block_id_, arr, idx, min_value);
       return arr.cell(idx).value >= min_value;
     }
     void await_suspend(std::coroutine_handle<>) const {
@@ -178,6 +210,8 @@ class BlockCtx {
       clock_us_ = resume;
     }
     clock_us_ += cost_->us_per_flag_read;
+    if (checker_ != nullptr)
+      checker_->on_flag_acquire(block_id_, arr, idx, c.value);
     return c.value;
   }
 
@@ -253,6 +287,7 @@ class BlockCtx {
   std::size_t max_lookback_depth_ = 0;
 
   FlagPublishHook* publish_hook_ = nullptr;
+  ProtocolChecker* checker_ = nullptr;
 
   // Active wait target (nullptr when runnable).
   StatusArray* wait_arr_ = nullptr;

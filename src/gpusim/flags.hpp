@@ -54,6 +54,10 @@ class StatusArray {
 
   /// Test hook: corrupt a cell, bypassing the monotonicity check.
   void corrupt_for_test(std::size_t idx, std::uint8_t value) {
+    SAT_CHECK_MSG(idx < cells_.size(), "corrupt_for_test: cell "
+                                           << idx << " out of range for '"
+                                           << name_ << "' (" << cells_.size()
+                                           << " cells)");
     cells_[idx].value = value;
   }
 

@@ -8,8 +8,10 @@
 #include "gpusim/device.hpp"     // IWYU pragma: export
 #include "gpusim/errors.hpp"     // IWYU pragma: export
 #include "gpusim/flags.hpp"      // IWYU pragma: export
+#include "gpusim/hb_graph.hpp"   // IWYU pragma: export
 #include "gpusim/kernel.hpp"     // IWYU pragma: export
 #include "gpusim/memory.hpp"     // IWYU pragma: export
+#include "gpusim/protocol_checker.hpp"  // IWYU pragma: export
 #include "gpusim/shared.hpp"     // IWYU pragma: export
 #include "gpusim/sim.hpp"        // IWYU pragma: export
 #include "gpusim/task.hpp"       // IWYU pragma: export

@@ -1,0 +1,180 @@
+// Happens-before bookkeeping for the protocol checker.
+//
+// Two pieces, both deliberately simulator-agnostic:
+//
+//  * VectorClock / Epoch — FastTrack-style logical clocks. Each block owns a
+//    component; release (flag publish) joins the publisher's clock into the
+//    cell's release clock, acquire joins the cell's release clock into the
+//    reader. A read of element e is ordered after its producing write iff
+//    the reader's clock covers the write's epoch.
+//
+//  * HbGraph — the inter-tile dependency graph recorded from look-back
+//    waits, with the claim bookkeeping (which block owns which tile, in
+//    what order tiles were claimed) needed for the deadlock/σ checks and a
+//    cycle finder for the final acyclicity verdict.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace gpusim {
+
+using BlockId = std::size_t;
+
+inline constexpr std::size_t kNoTile = std::numeric_limits<std::size_t>::max();
+
+/// One event of one block: (block, value of that block's own clock).
+struct Epoch {
+  BlockId block = 0;
+  std::uint64_t clock = 0;
+};
+
+/// Dense vector clock, grown on demand; absent components read as 0.
+class VectorClock {
+ public:
+  [[nodiscard]] std::uint64_t of(BlockId b) const {
+    return b < c_.size() ? c_[b] : 0;
+  }
+
+  /// Increments this clock's own component for `b` and returns the new value.
+  std::uint64_t tick(BlockId b) {
+    grow(b);
+    return ++c_[b];
+  }
+
+  /// Component-wise maximum (the join of two clocks).
+  void join(const VectorClock& other) {
+    if (other.c_.size() > c_.size()) c_.resize(other.c_.size(), 0);
+    for (std::size_t i = 0; i < other.c_.size(); ++i)
+      c_[i] = std::max(c_[i], other.c_[i]);
+  }
+
+  /// True iff the event `e` happens-before (or is) this clock's view.
+  [[nodiscard]] bool covers(const Epoch& e) const {
+    return e.clock <= of(e.block);
+  }
+
+  void clear() { c_.clear(); }
+
+ private:
+  void grow(BlockId b) {
+    if (b >= c_.size()) c_.resize(b + 1, 0);
+  }
+
+  std::vector<std::uint64_t> c_;
+};
+
+/// Inter-tile dependency graph + claim ledger for one kernel launch.
+class HbGraph {
+ public:
+  struct Tile {
+    std::size_t serial = 0;     ///< σ(I,J); valid iff has_serial
+    bool has_serial = false;
+    BlockId owner = 0;          ///< claiming block; valid iff claimed
+    bool claimed = false;
+    std::size_t claim_pos = 0;  ///< 0-based position in claim order
+  };
+
+  /// Host-side registration of σ for a tile that may not be claimed yet.
+  void register_serial(std::size_t tile, std::size_t serial) {
+    Tile& t = tiles_[tile];
+    t.serial = serial;
+    t.has_serial = true;
+  }
+
+  /// Records that `block` claimed `tile` with serial `serial`. Returns the
+  /// previously-known state (so the caller can diagnose duplicate claims or
+  /// serial mismatches before this overwrites nothing — claims are
+  /// first-wins and the caller must reject duplicates).
+  Tile& claim(std::size_t tile, std::size_t serial, BlockId block) {
+    Tile& t = tiles_[tile];
+    if (!t.claimed) {
+      t.serial = serial;
+      t.has_serial = true;
+      t.owner = block;
+      t.claimed = true;
+      t.claim_pos = claims_++;
+    }
+    return t;
+  }
+
+  [[nodiscard]] const Tile* find(std::size_t tile) const {
+    auto it = tiles_.find(tile);
+    return it == tiles_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t claim_count() const { return claims_; }
+
+  /// Adds a dependency edge: the block working on `from` waited on `to`'s
+  /// status. Deduplicated. Returns true if the edge is new.
+  bool add_edge(std::size_t from, std::size_t to) {
+    std::vector<std::size_t>& out = adj_[from];
+    if (std::find(out.begin(), out.end(), to) != out.end()) return false;
+    out.push_back(to);
+    ++edges_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t edge_count() const { return edges_; }
+
+  /// Returns one cycle (as a tile sequence, first == last) if the dependency
+  /// graph has one, else an empty vector. Iterative three-color DFS.
+  [[nodiscard]] std::vector<std::size_t> find_cycle() const {
+    enum : std::uint8_t { kWhite, kGray, kBlack };
+    std::unordered_map<std::size_t, std::uint8_t> color;
+    std::vector<std::size_t> path;
+    for (const auto& entry : adj_) {
+      const std::size_t root = entry.first;
+      if (color[root] != kWhite) continue;
+      // Stack of (node, next-child-index).
+      std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+      color[root] = kGray;
+      path.assign(1, root);
+      while (!stack.empty()) {
+        auto& [node, next] = stack.back();
+        const auto it = adj_.find(node);
+        const std::size_t fanout = it == adj_.end() ? 0 : it->second.size();
+        if (next >= fanout) {
+          color[node] = kBlack;
+          stack.pop_back();
+          path.pop_back();
+          continue;
+        }
+        const std::size_t child = it->second[next++];
+        if (color[child] == kGray) {
+          // Found: trim the path to the cycle and close it.
+          auto at = std::find(path.begin(), path.end(), child);
+          std::vector<std::size_t> cycle(at, path.end());
+          cycle.push_back(child);
+          return cycle;
+        }
+        if (color[child] == kWhite) {
+          color[child] = kGray;
+          stack.emplace_back(child, 0);
+          path.push_back(child);
+        }
+      }
+    }
+    return {};
+  }
+
+  void clear() {
+    tiles_.clear();
+    adj_.clear();
+    edges_ = 0;
+    claims_ = 0;
+  }
+
+ private:
+  std::unordered_map<std::size_t, Tile> tiles_;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> adj_;
+  std::size_t edges_ = 0;
+  std::size_t claims_ = 0;
+};
+
+}  // namespace gpusim

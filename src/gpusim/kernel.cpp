@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "gpusim/errors.hpp"
+#include "gpusim/protocol_checker.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -128,6 +129,7 @@ class Scheduler final : public FlagPublishHook {
     rec->ctx = std::make_unique<BlockCtx>(logical, cfg_.threads_per_block,
                                           cost_, report_.counters, start_us);
     rec->ctx->set_publish_hook(this);
+    rec->ctx->set_checker(sim_.checker);
     rec->logical_block = logical;
     rec->task = body_(*rec->ctx, logical);
     SAT_CHECK_MSG(rec->task.valid(),
@@ -271,8 +273,13 @@ KernelReport launch_kernel(SimContext& sim, const LaunchConfig& cfg,
                             (per_block_l2_gbps * 1e3);
   }
 
+  if (sim.checker != nullptr)
+    sim.checker->on_kernel_begin(cfg.name, cfg.grid_blocks, resident_limit);
+
   Scheduler scheduler(sim, cfg, body, report, cost);
   scheduler.run();
+
+  if (sim.checker != nullptr) sim.checker->on_kernel_end();
 
   sim.reports.push_back(report);
   return report;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "gpusim/block.hpp"
 #include "gpusim/sim.hpp"
 #include "util/check.hpp"
 #include "util/span2d.hpp"
@@ -62,15 +63,30 @@ class GlobalBuffer {
     return data_[i];
   }
 
-  /// Dense 2-D view; only valid when materialized.
+  /// Dense 2-D view; only valid when materialized. The extent check divides
+  /// rather than multiplies so `rows * cols` cannot wrap around.
   [[nodiscard]] satutil::Span2d<T> view2d(std::size_t rows, std::size_t cols) {
-    SAT_CHECK(rows * cols <= count_);
+    SAT_CHECK_MSG(rows == 0 || cols <= count_ / rows,
+                  "view2d(" << rows << ", " << cols << ") exceeds '" << name_
+                            << "' (" << count_ << " elements)");
     return {data(), rows, cols};
   }
   [[nodiscard]] satutil::Span2d<const T> view2d(std::size_t rows,
                                                 std::size_t cols) const {
-    SAT_CHECK(rows * cols <= count_);
+    SAT_CHECK_MSG(rows == 0 || cols <= count_ / rows,
+                  "view2d(" << rows << ", " << cols << ") exceeds '" << name_
+                            << "' (" << count_ << " elements)");
     return {data(), rows, cols};
+  }
+
+  /// Protocol-checker region events: report that `ctx`'s block writes/reads
+  /// `count` elements at `offset` of this buffer. No cost is charged — call
+  /// alongside the accounting primitives (read_contiguous etc.).
+  void note_write(BlockCtx& ctx, std::size_t offset, std::size_t count) const {
+    ctx.note_region_write(this, name_, offset, count);
+  }
+  void note_read(BlockCtx& ctx, std::size_t offset, std::size_t count) const {
+    ctx.note_region_read(this, name_, offset, count);
   }
 
   /// Host-side initialization (outside kernel time; like cudaMemcpy H→D,

@@ -13,6 +13,8 @@
 
 namespace gpusim {
 
+class ProtocolChecker;
+
 class SimContext {
  public:
   explicit SimContext(DeviceConfig device_config = DeviceConfig::titan_v())
@@ -31,6 +33,12 @@ class SimContext {
   /// Per-launch reports, in launch order.
   std::vector<KernelReport> reports;
 
+  /// Opt-in protocol verification (see protocol_checker.hpp): when non-null,
+  /// every launch records happens-before events into the checker and is
+  /// verified for races, deadlock freedom and state-machine conformance.
+  /// Not owned; must outlive the launches it observes.
+  ProtocolChecker* checker = nullptr;
+
   /// Called by GlobalBuffer; enforces the device's global-memory capacity
   /// (the paper's 12 GiB limit is what capped its evaluation at 32K×32K).
   void on_alloc(std::size_t bytes, const std::string& what) {
@@ -42,7 +50,14 @@ class SimContext {
     bytes_allocated_ += bytes;
     if (bytes_allocated_ > peak_bytes_) peak_bytes_ = bytes_allocated_;
   }
-  void on_free(std::size_t bytes) { bytes_allocated_ -= bytes; }
+  void on_free(std::size_t bytes) {
+    if (bytes > bytes_allocated_) {
+      throw ResourceError("global memory accounting underflow: freeing " +
+                          std::to_string(bytes) + " bytes with only " +
+                          std::to_string(bytes_allocated_) + " allocated");
+    }
+    bytes_allocated_ -= bytes;
+  }
 
   [[nodiscard]] std::size_t bytes_allocated() const { return bytes_allocated_; }
   [[nodiscard]] std::size_t peak_bytes_allocated() const { return peak_bytes_; }

@@ -16,6 +16,7 @@
 #include "gpusim/gpusim.hpp"
 #include "sat/aux_arrays.hpp"
 #include "sat/params.hpp"
+#include "sat/protocol_specs.hpp"
 #include "sat/tile_ops.hpp"
 #include "sat/tiles.hpp"
 
@@ -50,6 +51,11 @@ RunResult run_skss_lb_batch(gpusim::SimContext& sim,
   gpusim::GlobalAtomicU32 work_counter;
   const bool mat = sim.materialize;
 
+  if (sim.checker != nullptr) {
+    sim.checker->register_tile_serials(batch_serial_map(grid, batch));
+    expect_skss_lb_protocol(*sim.checker, r_status, c_status);
+  }
+
   gpusim::LaunchConfig cfg;
   cfg.name = "skss_lb_batch(" + std::to_string(batch) + "x" +
              std::to_string(rows) + "x" + std::to_string(cols) +
@@ -70,6 +76,7 @@ RunResult run_skss_lb_batch(gpusim::SimContext& sim,
     const std::size_t self = img * per_image + grid.idx(ti, tj);
     const std::size_t vbase = self * w;
     const std::size_t elem_off = img * image_elems;
+    ctx.note_tile(self, img * per_image + grid.serial(ti, tj));
 
     // The per-tile protocol of algo_skss_lb.hpp, with image-offset
     // addressing. Tile I/O goes through stride-aware views of this image.

@@ -16,6 +16,7 @@
 #include "gpusim/gpusim.hpp"
 #include "sat/aux_arrays.hpp"
 #include "sat/params.hpp"
+#include "sat/protocol_specs.hpp"
 #include "sat/tile_ops.hpp"
 #include "sat/tiles.hpp"
 
@@ -32,6 +33,11 @@ RunResult run_skss(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
   SatAux<T> aux(sim, grid);
   gpusim::GlobalAtomicU32 work_counter;
   const bool mat = sim.materialize;
+
+  if (sim.checker != nullptr) {
+    sim.checker->register_tile_serials(tile_serial_map(grid));
+    expect_skss_protocol(*sim.checker, aux.r_status);
+  }
 
   gpusim::LaunchConfig cfg;
   cfg.name = "skss(" + std::to_string(rows) + "x" + std::to_string(cols) +
@@ -63,6 +69,7 @@ RunResult run_skss(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
       // shared memory across iterations (no global traffic).
       std::vector<T> gcp(mat ? w : 0, T{});
       for (std::size_t ti = 0; ti < gr; ++ti) {
+        ctx.note_tile(grid.idx(ti, tj), grid.serial(ti, tj));
         gpusim::SharedTile<T> tile(w, p.arrangement, mat);
         load_tile(ctx, a, grid, ti, tj, tile);
         ctx.sync();

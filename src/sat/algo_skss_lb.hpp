@@ -30,6 +30,7 @@
 #include "gpusim/gpusim.hpp"
 #include "sat/aux_arrays.hpp"
 #include "sat/params.hpp"
+#include "sat/protocol_specs.hpp"
 #include "sat/tile_ops.hpp"
 #include "sat/tiles.hpp"
 
@@ -44,6 +45,11 @@ RunResult run_skss_lb(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
   SatAux<T> aux(sim, grid);
   gpusim::GlobalAtomicU32 work_counter;
   const bool mat = sim.materialize;
+
+  if (sim.checker != nullptr) {
+    sim.checker->register_tile_serials(tile_serial_map(grid));
+    expect_skss_lb_protocol(*sim.checker, aux.r_status, aux.c_status);
+  }
 
   gpusim::LaunchConfig cfg;
   cfg.name = "skss_lb(" + std::to_string(rows) + "x" + std::to_string(cols) +
@@ -67,6 +73,9 @@ RunResult run_skss_lb(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
     const auto [ti, tj] = grid.tile_of_serial(serial);
     const std::size_t base = aux.vec_base(grid, ti, tj);
     const std::size_t self = grid.idx(ti, tj);
+    ctx.note_tile(self, serial);
+    const bool faulty =
+        p.inject != FaultInjection::kNone && serial == p.inject_serial;
 
     // Step 1: load tile; LCS folds into the copy, LRS from shared.
     gpusim::SharedTile<T> tile(w, p.arrangement, mat);
@@ -78,10 +87,24 @@ RunResult run_skss_lb(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
     // Steps 2.A.1 / 2.B.1: publish the local sums (warp groups do these
     // concurrently on hardware; publishing both before any wait keeps the
     // dependency graph — and the critical path — faithful).
-    write_aux_vector<T>(ctx, aux.lrs, base, lrs, w);
-    ctx.flag_publish(aux.r_status, self, rflag::kLrs);
+    if (faulty && p.inject == FaultInjection::kFlagBeforeData) {
+      // Seeded inversion: the flag is released before the data it guards.
+      ctx.flag_publish(aux.r_status, self, rflag::kLrs);
+      write_aux_vector<T>(ctx, aux.lrs, base, lrs, w);
+    } else {
+      write_aux_vector<T>(ctx, aux.lrs, base, lrs, w);
+      ctx.flag_publish(aux.r_status, self, rflag::kLrs);
+    }
     write_aux_vector<T>(ctx, aux.lcs, base, lcs, w);
     ctx.flag_publish(aux.c_status, self, cflag::kLcs);
+
+    if (faulty && p.inject == FaultInjection::kSigmaViolation &&
+        tj + 1 < grid.g_cols()) {
+      // Seeded σ-increasing edge: wait on the *right* neighbour, whose
+      // serial is larger — forbidden by the §IV deadlock-freedom argument.
+      co_await ctx.wait_flag_at_least(aux.r_status, grid.idx(ti, tj + 1),
+                                      rflag::kLrs);
+    }
 
     // Step 2.A.2: look back leftwards for GRS(I,J−1) (Figure 10).
     std::vector<T> grs_left(mat ? w : 0, T{});
@@ -161,8 +184,20 @@ RunResult run_skss_lb(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
     }
 
     // Step 3.3: GS(I,J) = GS(I−1,J−1) + GLS(I,J).
-    write_aux_scalar(ctx, aux.gs, self, gs_corner + gls);
-    ctx.flag_publish(aux.r_status, self, rflag::kGs);
+    if (faulty && p.inject == FaultInjection::kFlagBeforeData) {
+      // Same inversion on the terminal pair: the diagonal successor that
+      // observes R = GS reads a GS value no release ever ordered.
+      ctx.flag_publish(aux.r_status, self, rflag::kGs);
+      write_aux_scalar(ctx, aux.gs, self, gs_corner + gls);
+    } else if (faulty && p.inject == FaultInjection::kStuckTile) {
+      // Seeded stuck tile: the GS value is written but its terminal state
+      // is never announced — successors fall back to the GLS walk and the
+      // kernel completes, yet the protocol state machine never closes.
+      write_aux_scalar(ctx, aux.gs, self, gs_corner + gls);
+    } else {
+      write_aux_scalar(ctx, aux.gs, self, gs_corner + gls);
+      ctx.flag_publish(aux.r_status, self, rflag::kGs);
+    }
 
     // Step 4: borders in, shared SAT, GSAT out.
     if (tj > 0) add_to_left_column<T>(ctx, tile, grs_left);

@@ -11,7 +11,23 @@
 
 namespace satalgo {
 
-/// Parameters of a SAT run. `tile_w` and `threads_per_block` correspond to
+/// Seeded protocol faults for the checker's fault-injection tests
+/// (implemented by 1R1W-SKSS-LB; keep kNone for real runs).
+enum class FaultInjection : std::uint8_t {
+  kNone,
+  /// The target tile publishes its LRS/GRS flags *before* writing the
+  /// guarded vectors — the classic missing-fence inversion. The checker
+  /// reports a race when a successor reads the vector.
+  kFlagBeforeData,
+  /// The target tile waits on its *right* neighbour's status — a
+  /// σ-increasing dependency edge that could deadlock under limited
+  /// residency.
+  kSigmaViolation,
+  /// The target tile never publishes its terminal GS state.
+  kStuckTile,
+};
+
+/// Tile-algorithm parameters. `tile_w` and `threads_per_block` correspond to
 /// the paper's W and W²/m (the paper fixes threads at 1024 and sweeps
 /// W ∈ {32, 64, 128}).
 struct SatParams {
@@ -42,6 +58,11 @@ struct SatParams {
   /// Record per-block timelines into every kernel report (O(grid) memory);
   /// consumed by the scheduler_trace example and the trace tests.
   bool record_trace = false;
+
+  /// Fault injection for the protocol-checker tests: which fault to seed and
+  /// the serial order σ of the tile that misbehaves.
+  FaultInjection inject = FaultInjection::kNone;
+  std::size_t inject_serial = 0;
 
   [[nodiscard]] std::size_t m() const {
     return tile_w * tile_w / static_cast<std::size_t>(threads_per_block);

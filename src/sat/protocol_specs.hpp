@@ -1,0 +1,60 @@
+// Protocol-checker registrations for the SAT algorithms: the expected
+// status-flag state machines and the tile → σ(I,J) serial maps, declared
+// host-side before each instrumented launch so the checker can verify the
+// look-back protocol (see gpusim/protocol_checker.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/flags.hpp"
+#include "gpusim/protocol_checker.hpp"
+#include "sat/aux_arrays.hpp"
+#include "sat/tiles.hpp"
+
+namespace satalgo {
+
+/// serial_of_tile[idx(I,J)] = σ(I,J) for one image's tile grid.
+inline std::vector<std::size_t> tile_serial_map(const TileGrid& grid) {
+  std::vector<std::size_t> serials(grid.count());
+  for (std::size_t ti = 0; ti < grid.g_rows(); ++ti)
+    for (std::size_t tj = 0; tj < grid.g_cols(); ++tj)
+      serials[grid.idx(ti, tj)] = grid.serial(ti, tj);
+  return serials;
+}
+
+/// Image-major serial map for the batched kernel: image k's tiles keep
+/// their in-image diagonal-major order, offset by k·per_image.
+inline std::vector<std::size_t> batch_serial_map(const TileGrid& grid,
+                                                 std::size_t batch) {
+  const std::vector<std::size_t> one = tile_serial_map(grid);
+  const std::size_t per_image = grid.count();
+  std::vector<std::size_t> serials(batch * per_image);
+  for (std::size_t k = 0; k < batch; ++k)
+    for (std::size_t t = 0; t < per_image; ++t)
+      serials[k * per_image + t] = k * per_image + one[t];
+  return serials;
+}
+
+/// The full 1R1W-SKSS-LB state machines: R walks 0→LRS→GRS→GLS→GS, C walks
+/// 0→LCS→GCS; every tile must end at the terminal state exactly once.
+inline void expect_skss_lb_protocol(gpusim::ProtocolChecker& checker,
+                                    const gpusim::StatusArray& r_status,
+                                    const gpusim::StatusArray& c_status) {
+  checker.expect_transitions(r_status,
+                             {{0, rflag::kLrs},
+                              {rflag::kLrs, rflag::kGrs},
+                              {rflag::kGrs, rflag::kGls},
+                              {rflag::kGls, rflag::kGs}},
+                             rflag::kGs);
+  checker.expect_transitions(
+      c_status, {{0, cflag::kLcs}, {cflag::kLcs, cflag::kGcs}}, cflag::kGcs);
+}
+
+/// Plain SKSS publishes only the final per-tile GRS state on R (one shot).
+inline void expect_skss_protocol(gpusim::ProtocolChecker& checker,
+                                 const gpusim::StatusArray& r_status) {
+  checker.expect_transitions(r_status, {{0, rflag::kGrs}}, rflag::kGrs);
+}
+
+}  // namespace satalgo

@@ -209,11 +209,12 @@ void sat_in_shared(gpusim::BlockCtx& ctx, gpusim::SharedTile<T>& tile) {
 // ---------------------------------------------------------------------------
 
 /// Writes a W-vector (LRS/GRS/LCS/GCS entry for one tile) — W consecutive
-/// elements, coalesced.
+/// elements, coalesced. Reported to the protocol checker as a region write.
 template <class T>
 void write_aux_vector(gpusim::BlockCtx& ctx, gpusim::GlobalBuffer<T>& buf,
                       std::size_t base, std::span<const T> v, std::size_t w) {
   ctx.write_contiguous(w, sizeof(T));
+  buf.note_write(ctx, base, w);
   if (buf.materialized()) {
     SAT_DCHECK(v.size() == w);
     for (std::size_t k = 0; k < w; ++k) buf[base + k] = v[k];
@@ -226,6 +227,7 @@ template <class T>
                                              const gpusim::GlobalBuffer<T>& buf,
                                              std::size_t base, std::size_t w) {
   ctx.read_contiguous(w, sizeof(T));
+  buf.note_read(ctx, base, w);
   std::vector<T> v;
   if (buf.materialized()) {
     v.assign(w, T{});
@@ -242,6 +244,7 @@ void accumulate_aux_vector(gpusim::BlockCtx& ctx,
                            std::vector<T>& acc) {
   ctx.read_contiguous(w, sizeof(T));
   ctx.warp_alu(w / 32);
+  buf.note_read(ctx, base, w);
   if (buf.materialized()) {
     SAT_DCHECK(acc.size() == w);
     for (std::size_t k = 0; k < w; ++k) acc[k] += buf[base + k];
@@ -253,6 +256,7 @@ template <class T>
 void write_aux_scalar(gpusim::BlockCtx& ctx, gpusim::GlobalBuffer<T>& buf,
                       std::size_t at, T v) {
   ctx.write_contiguous(1, sizeof(T));
+  buf.note_write(ctx, at, 1);
   if (buf.materialized()) buf[at] = v;
 }
 
@@ -262,6 +266,7 @@ template <class T>
                                 const gpusim::GlobalBuffer<T>& buf,
                                 std::size_t at) {
   ctx.read_contiguous(1, sizeof(T));
+  buf.note_read(ctx, at, 1);
   return buf.materialized() ? buf[at] : T{};
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,17 @@ gpusim::KernelReport col_wise_inclusive_scan(gpusim::SimContext& sim,
   gpusim::GlobalBuffer<T> inclusive(sim, strips * cols, "col_scan.inclusive");
   const bool mat = sim.materialize;
 
+  if (sim.checker != nullptr) {
+    // Claims follow the atomic grab in ascending index order and the
+    // look-back targets a smaller index in the same column group.
+    std::vector<std::size_t> serials(grid);
+    std::iota(serials.begin(), serials.end(), std::size_t{0});
+    sim.checker->register_tile_serials(std::move(serials));
+    sim.checker->expect_transitions(
+        status, {{0, kAggregateReady}, {kAggregateReady, kPrefixReady}},
+        kPrefixReady);
+  }
+
   gpusim::LaunchConfig cfg;
   cfg.name = "col_scan(" + std::to_string(rows) + "x" + std::to_string(cols) + ")";
   cfg.grid_blocks = grid;
@@ -56,6 +68,7 @@ gpusim::KernelReport col_wise_inclusive_scan(gpusim::SimContext& sim,
     const std::size_t block = tune.direct_assignment
                                   ? blockIdx
                                   : ctx.atomic_fetch_add(work_counter);
+    ctx.note_tile(block, block);
     const std::size_t strip = block / groups;
     const std::size_t group = block % groups;
     const std::size_t row0 = strip * tune.strip_rows;
@@ -85,6 +98,7 @@ gpusim::KernelReport col_wise_inclusive_scan(gpusim::SimContext& sim,
       }
     }
     ctx.write_contiguous(ncols, sizeof(T));
+    aggregate.note_write(ctx, strip * cols + col0, ncols);
     ctx.flag_publish(status, block, kAggregateReady);
 
     // Look back up the column group for the exclusive offsets.
@@ -98,12 +112,14 @@ gpusim::KernelReport col_wise_inclusive_scan(gpusim::SimContext& sim,
       ctx.read_contiguous(ncols, sizeof(T));
       ctx.warp_alu(warps_row);
       if (s >= kPrefixReady) {
+        inclusive.note_read(ctx, (back - 1) * cols + col0, ncols);
         if (mat) {
           const T* v = inclusive.data() + (back - 1) * cols + col0;
           for (std::size_t c = 0; c < ncols; ++c) offset[c] += v[c];
         }
         break;
       }
+      aggregate.note_read(ctx, (back - 1) * cols + col0, ncols);
       if (mat) {
         const T* v = aggregate.data() + (back - 1) * cols + col0;
         for (std::size_t c = 0; c < ncols; ++c) offset[c] += v[c];
@@ -117,6 +133,7 @@ gpusim::KernelReport col_wise_inclusive_scan(gpusim::SimContext& sim,
       for (std::size_t c = 0; c < ncols; ++c) v[c] = offset[c] + a[c];
     }
     ctx.write_contiguous(ncols, sizeof(T));
+    inclusive.note_write(ctx, strip * cols + col0, ncols);
     ctx.flag_publish(status, block, kPrefixReady);
 
     // Add offsets to the strip in shared and stream it out, coalesced.

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <algorithm>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,17 @@ gpusim::KernelReport row_wise_inclusive_scan(gpusim::SimContext& sim,
   gpusim::GlobalBuffer<T> inclusive(sim, grid, "row_scan.inclusive");
   const bool mat = sim.materialize;
 
+  if (sim.checker != nullptr) {
+    // Work items are claimed in ascending index order; the look-back only
+    // targets smaller indices, so the identity map is the serial order.
+    std::vector<std::size_t> serials(grid);
+    std::iota(serials.begin(), serials.end(), std::size_t{0});
+    sim.checker->register_tile_serials(std::move(serials));
+    sim.checker->expect_transitions(
+        status, {{0, kAggregateReady}, {kAggregateReady, kPrefixReady}},
+        kPrefixReady);
+  }
+
   gpusim::LaunchConfig cfg;
   cfg.name = "row_scan(" + std::to_string(rows) + "x" + std::to_string(cols) + ")";
   cfg.grid_blocks = grid;
@@ -62,6 +74,7 @@ gpusim::KernelReport row_wise_inclusive_scan(gpusim::SimContext& sim,
     const std::size_t block = tune.direct_assignment
                                   ? blockIdx
                                   : ctx.atomic_fetch_add(work_counter);
+    ctx.note_tile(block, block);
     const std::size_t row = block / chunks_per_row;
     const std::size_t ci = block % chunks_per_row;
     const std::size_t col0 = ci * chunk;
@@ -89,6 +102,7 @@ gpusim::KernelReport row_wise_inclusive_scan(gpusim::SimContext& sim,
     // that makes the scan single-pass.
     if (mat) aggregate[block] = agg;
     ctx.write_contiguous(1, sizeof(T));
+    aggregate.note_write(ctx, block, 1);
     ctx.flag_publish(status, block, kAggregateReady);
 
     // Decoupled look-back for the exclusive prefix of this chunk.
@@ -101,15 +115,18 @@ gpusim::KernelReport row_wise_inclusive_scan(gpusim::SimContext& sim,
       ++depth;
       ctx.read_contiguous(1, sizeof(T));
       if (s >= kPrefixReady) {
+        inclusive.note_read(ctx, pred, 1);
         if (mat) prefix += inclusive[pred];
         break;
       }
+      aggregate.note_read(ctx, pred, 1);
       if (mat) prefix += aggregate[pred];
     }
     ctx.note_lookback_depth(depth);
 
     if (mat) inclusive[block] = prefix + agg;
     ctx.write_contiguous(1, sizeof(T));
+    inclusive.note_write(ctx, block, 1);
     ctx.flag_publish(status, block, kPrefixReady);
 
     // Apply the offset and store the chunk.

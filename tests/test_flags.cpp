@@ -35,6 +35,11 @@ TEST(StatusArray, CorruptionIsDetectedOnNextPublish) {
   EXPECT_THROW(s.publish(0, 2, 2.0), ProtocolError);
 }
 
+TEST(StatusArray, CorruptForTestBoundsChecked) {
+  StatusArray s("R", 2);
+  EXPECT_THROW(s.corrupt_for_test(5, 1), satutil::CheckError);
+}
+
 TEST(StatusArray, Reset) {
   StatusArray s("R", 2);
   s.publish(1, 2, 5.0);
@@ -84,6 +89,25 @@ TEST(GlobalBuffer, FreesOnDestruction) {
   }
   EXPECT_EQ(sim.bytes_allocated(), 0u);
   EXPECT_EQ(sim.peak_bytes_allocated(), 4096u);
+}
+
+TEST(GlobalBuffer, FreeingMoreThanAllocatedThrows) {
+  SimContext sim;
+  sim.materialize = false;
+  GlobalBuffer<float> a(sim, 256, "a");
+  EXPECT_THROW(sim.on_free(sim.bytes_allocated() + 1), ResourceError);
+  // The failed free must not corrupt the accounting.
+  EXPECT_EQ(sim.bytes_allocated(), 1024u);
+}
+
+TEST(GlobalBuffer, View2dRejectsOversizedShapes) {
+  SimContext sim;
+  GlobalBuffer<float> buf(sim, 16, "t");
+  EXPECT_NO_THROW(buf.view2d(4, 4));
+  EXPECT_THROW(buf.view2d(5, 4), satutil::CheckError);
+  // rows*cols would wrap around 2^64 and pass a naive product check.
+  EXPECT_THROW(buf.view2d(std::size_t{1} << 62, 8), satutil::CheckError);
+  EXPECT_NO_THROW(buf.view2d(0, 999));  // empty view of any width
 }
 
 TEST(GlobalBuffer, UploadCopiesHostData) {

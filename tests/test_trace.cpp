@@ -126,6 +126,36 @@ TEST(TraceAnalysis, SparklineShapes) {
   EXPECT_EQ(occupancy_sparkline({}, 8), std::string(8, ' '));
 }
 
+TEST(TraceAnalysis, EmptyTraceYieldsEmptyAnalysis) {
+  EXPECT_TRUE(occupancy_timeline({}).empty());
+  EXPECT_EQ(mean_active_blocks({}), 0.0);
+  EXPECT_EQ(wait_share({}), 0.0);
+}
+
+TEST(TraceAnalysis, SimultaneousStartAndFinishCoalesceToOneSample) {
+  // Block 1 starts at the instant block 0 finishes: one sample at t=5 with
+  // the net activity (1), not a finish-then-start pair.
+  std::vector<BlockTraceEntry> trace = {{0, 0.0, 5.0, 0.0},
+                                        {1, 5.0, 10.0, 0.0}};
+  const auto tl = occupancy_timeline(trace);
+  ASSERT_EQ(tl.size(), 3u);
+  for (std::size_t k = 1; k < tl.size(); ++k)
+    EXPECT_GT(tl[k].t_us, tl[k - 1].t_us);  // strictly increasing times
+  EXPECT_EQ(tl[0].active, 1u);
+  EXPECT_EQ(tl[1].active, 1u);
+  EXPECT_EQ(tl[2].active, 0u);
+  EXPECT_NEAR(mean_active_blocks(trace), 1.0, 1e-9);
+}
+
+TEST(TraceAnalysis, ZeroDurationTraceHasZeroWaitShare) {
+  // All blocks start and finish at the same instant: no time was spent at
+  // all, so the wait share is 0, not 0/0.
+  std::vector<BlockTraceEntry> trace = {{0, 3.0, 3.0, 0.0},
+                                        {1, 3.0, 3.0, 0.0}};
+  EXPECT_EQ(wait_share(trace), 0.0);
+  EXPECT_EQ(mean_active_blocks(trace), 0.0);
+}
+
 TEST(TraceAnalysis, RealKernelOccupancyRespectsResidency) {
   gpusim::SimContext sim;
   sim.materialize = false;

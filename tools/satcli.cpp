@@ -1,18 +1,23 @@
 // satcli — command-line front end for the library.
 //
 //   satcli --mode compute --rows 512 --cols 768 --algorithm skss_lb --w 64
+//   satcli --mode compute --rows 1024 --cols 1024 --check-protocol
 //   satcli --mode cell --n 8192 --algorithm skss_lb --w 128
 //   satcli --mode tune --rows 4096 --cols 4096
 //   satcli --mode trace --n 2048 --w 128 --out trace.csv
+//   satcli --mode verify
 //
 // modes:
 //   compute  run an algorithm on a random matrix, validate, print stats
 //   cell     price one Table III cell with the performance model
 //   tune     pick the fastest (algorithm, W) for a shape
 //   trace    dump the per-block timeline of a SKSS-LB run as CSV
+//   verify   run every registry algorithm under the soft-sync protocol
+//            checker across a size/tile-width sweep
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/api.hpp"
 #include "model/table3.hpp"
@@ -42,12 +47,16 @@ int mode_compute(const satutil::ArgParser& args) {
   sat::Options opts;
   opts.algorithm = parse_algorithm(args.get("algorithm"));
   opts.tile_w = static_cast<std::size_t>(args.get_int("w"));
+  gpusim::ProtocolChecker checker;
+  if (args.get_flag("check-protocol")) opts.checker = &checker;
   const auto result = sat::compute_sat(input, opts);
   const auto err = sat::validate_sat(input, result.table);
   std::printf("%s on %zux%zu (padded to %zu-aligned): %s\n",
               result.stats.algorithm.c_str(), rows, cols,
               result.stats.padded_n,
               err ? err->c_str() : "validated against CPU oracle");
+  if (opts.checker != nullptr)
+    std::printf("protocol: %s\n", checker.summary().c_str());
   std::printf("kernels %zu | threads %s | reads %s | writes %s | model %.4f ms\n",
               result.stats.kernel_calls,
               satutil::format_count(result.stats.max_threads).c_str(),
@@ -115,11 +124,48 @@ int mode_trace(const satutil::ArgParser& args) {
   return 0;
 }
 
+int mode_verify(const satutil::ArgParser& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const std::vector<std::size_t> sizes = {256, 1024};
+  const std::vector<std::size_t> widths = {32, 64, 128};
+  std::size_t runs = 0;
+  std::size_t failures = 0;
+  for (satalgo::Algorithm algo : satalgo::all_sat_algorithms()) {
+    for (std::size_t n : sizes) {
+      for (std::size_t w : widths) {
+        // Non-tiled algorithms ignore W; sweep them once per size.
+        if (!satalgo::is_tiled(algo) && w != widths.front()) continue;
+        gpusim::ProtocolChecker checker;
+        gpusim::SimContext sim;
+        sim.materialize = false;  // counters + protocol only: fast sweep
+        sim.checker = &checker;
+        gpusim::GlobalBuffer<float> a(sim, n * n, "verify.in");
+        gpusim::GlobalBuffer<float> b(sim, n * n, "verify.out");
+        satalgo::SatParams p;
+        p.tile_w = w;
+        p.seed = seed;
+        ++runs;
+        try {
+          satalgo::run_algorithm(sim, algo, a, b, n, p);
+          std::printf("ok   %-14s n=%-5zu W=%-4zu %s\n", satalgo::name_of(algo),
+                      n, w, checker.summary().c_str());
+        } catch (const gpusim::ProtocolError& e) {
+          ++failures;
+          std::printf("FAIL %-14s n=%-5zu W=%-4zu %s\n", satalgo::name_of(algo),
+                      n, w, e.what());
+        }
+      }
+    }
+  }
+  std::printf("%zu/%zu protocol-checked runs passed\n", runs - failures, runs);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   satutil::ArgParser args("satcli", "summed-area-table command-line tool");
-  args.add("mode", "compute", "compute | cell | tune | trace")
+  args.add("mode", "compute", "compute | cell | tune | trace | verify")
       .add("rows", "1024", "matrix rows")
       .add("cols", "1024", "matrix cols")
       .add("n", "1024", "matrix side (cell/trace modes)")
@@ -127,7 +173,9 @@ int main(int argc, char** argv) {
            "duplicate|2r2w|2r2w_opt|2r1w|1r1w|hybrid|skss|skss_lb")
       .add("w", "64", "tile width")
       .add("seed", "1", "workload seed")
-      .add("out", "trace.csv", "output file (trace mode)");
+      .add("out", "trace.csv", "output file (trace mode)")
+      .add_flag("check-protocol",
+                "verify the soft-sync protocol during compute mode");
   if (!args.parse(argc, argv)) return 1;
 
   const std::string mode = args.get("mode");
@@ -135,6 +183,7 @@ int main(int argc, char** argv) {
   if (mode == "cell") return mode_cell(args);
   if (mode == "tune") return mode_tune(args);
   if (mode == "trace") return mode_trace(args);
+  if (mode == "verify") return mode_verify(args);
   std::fprintf(stderr, "unknown mode '%s'\n%s", mode.c_str(),
                args.usage().c_str());
   return 1;
