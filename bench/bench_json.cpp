@@ -1,0 +1,65 @@
+#include "bench_json.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+
+#ifndef SATLIB_GIT_REV
+#define SATLIB_GIT_REV "unknown"
+#endif
+
+namespace satbench {
+
+double Record::melem_per_s() const {
+  if (wall_ms <= 0.0) return 0.0;
+  return static_cast<double>(elems) / (wall_ms * 1e3);
+}
+
+double Record::ns_per_elem() const {
+  if (elems == 0) return 0.0;
+  return wall_ms * 1e6 / static_cast<double>(elems);
+}
+
+double time_best_ms(int iterations, const void* tag, void (*fn)(const void*)) {
+  using clock = std::chrono::steady_clock;
+  double best = std::numeric_limits<double>::infinity();
+  for (int it = 0; it < iterations; ++it) {
+    const auto t0 = clock::now();
+    fn(tag);
+    const auto t1 = clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+const char* git_rev() { return SATLIB_GIT_REV; }
+
+bool write_json(const std::string& path, const std::vector<Record>& results,
+                const char* simd_backend, bool smoke) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"satlib-bench-v1\",\n"
+               "  \"git_rev\": \"%s\",\n"
+               "  \"simd_backend\": \"%s\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"results\": [\n",
+               git_rev(), simd_backend, smoke ? "true" : "false");
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const Record& r = results[k];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"impl\": \"%s\", \"dtype\": \"%s\", "
+                 "\"n\": %zu, \"iterations\": %d, \"wall_ms\": %.4f, "
+                 "\"melem_per_s\": %.2f, \"ns_per_elem\": %.4f}%s\n",
+                 r.name.c_str(), r.impl.c_str(), r.dtype.c_str(), r.n,
+                 r.iterations, r.wall_ms, r.melem_per_s(), r.ns_per_elem(),
+                 k + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  return std::fclose(f) == 0;
+}
+
+}  // namespace satbench

@@ -1,0 +1,58 @@
+// Minimal JSON perf-ledger writer for the BENCH_*.json files at the repo
+// root. Deliberately dependency-free (no google-benchmark, no json lib) so
+// tools/run_benches builds everywhere the library builds.
+//
+// Schema (one object per file):
+//   {
+//     "schema": "satlib-bench-v1",
+//     "git_rev": "<short sha or 'unknown'>",
+//     "simd_backend": "avx2" | "sse2" | "scalar",
+//     "smoke": true | false,
+//     "results": [ { "name", "impl", "dtype", "n", "iterations",
+//                    "wall_ms", "melem_per_s", "ns_per_elem" }, ... ]
+//   }
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace satbench {
+
+/// One measured configuration. `wall_ms` is the best-of-`iterations` wall
+/// time for a single run; rates are derived from it and `n` (elements =
+/// n*n for 2-D benchmarks — the caller passes the element count directly).
+struct Record {
+  std::string name;     ///< e.g. "host_sat/simd/4096"
+  std::string impl;     ///< e.g. "simd", "sequential", "skss_lb"
+  std::string dtype;    ///< e.g. "f32"
+  std::size_t n = 0;    ///< problem edge length
+  std::size_t elems = 0;  ///< elements processed per run (n*n for SAT)
+  int iterations = 0;   ///< timed repetitions (best-of)
+  double wall_ms = 0.0;
+  [[nodiscard]] double melem_per_s() const;
+  [[nodiscard]] double ns_per_elem() const;
+};
+
+/// Times `fn` `iterations` times and returns the best wall time in ms.
+double time_best_ms(int iterations, const void* tag, void (*fn)(const void*));
+
+/// Convenience wrapper so call sites can pass any callable.
+template <class F>
+double time_best_ms(int iterations, F&& fn) {
+  using Fn = std::remove_reference_t<F>;
+  return time_best_ms(
+      iterations, static_cast<const void*>(&fn),
+      [](const void* p) { (*static_cast<const Fn*>(p))(); });
+}
+
+/// Compile-time metadata baked by CMake (git rev) and util/simd.hpp
+/// (backend). Exposed for the file header and for run_benches logging.
+[[nodiscard]] const char* git_rev();
+
+/// Writes the ledger to `path` (overwriting). Returns false on I/O error.
+bool write_json(const std::string& path, const std::vector<Record>& results,
+                const char* simd_backend, bool smoke);
+
+}  // namespace satbench

@@ -65,6 +65,24 @@ class BlockCtx {
     account_write(count, count * elem_bytes, s, s);
   }
 
+  /// `rows` equally-sized coalesced reads of `count` contiguous elements
+  /// each (the W row segments of a tile load, or a halo's rows). The sector
+  /// count of one segment is computed once and scaled, so the integer
+  /// counters are bit-identical to `rows` read_contiguous calls while the
+  /// accounting work is O(1) instead of O(rows) — the count-only fast path.
+  void read_contiguous_rows(std::size_t rows, std::size_t count,
+                            std::size_t elem_bytes) {
+    const std::size_t s = sectors_contiguous(count, elem_bytes);
+    account_read(rows * count, rows * count * elem_bytes, rows * s, rows * s);
+  }
+
+  /// `rows` equally-sized coalesced writes of `count` contiguous elements.
+  void write_contiguous_rows(std::size_t rows, std::size_t count,
+                             std::size_t elem_bytes) {
+    const std::size_t s = sectors_contiguous(count, elem_bytes);
+    account_write(rows * count, rows * count * elem_bytes, rows * s, rows * s);
+  }
+
   /// Read of `count` elements where each warp accesses lanes `stride_elems`
   /// apart (column of a row-major matrix): one sector issued per element,
   /// but per-thread sequential walks re-touch sectors, so DRAM traffic is
@@ -87,6 +105,28 @@ class BlockCtx {
                        elems_per_sector(elem_bytes)
                  : count;
     account_write(count, count * elem_bytes, issued, dram);
+  }
+
+  /// `reps` identical strided-walk reads (a thread-per-row scan charging one
+  /// walk per column). Counter-identical to `reps` read_strided_walk calls.
+  void read_strided_walk_rows(std::size_t reps, std::size_t count,
+                              std::size_t elem_bytes, bool l2_reuse) {
+    const std::size_t dram =
+        l2_reuse ? (count + elems_per_sector(elem_bytes) - 1) /
+                       elems_per_sector(elem_bytes)
+                 : count;
+    account_read(reps * count, reps * count * elem_bytes, reps * count,
+                 reps * dram);
+  }
+
+  void write_strided_walk_rows(std::size_t reps, std::size_t count,
+                               std::size_t elem_bytes, bool l2_reuse) {
+    const std::size_t dram =
+        l2_reuse ? (count + elems_per_sector(elem_bytes) - 1) /
+                       elems_per_sector(elem_bytes)
+                 : count;
+    account_write(reps * count, reps * count * elem_bytes, reps * count,
+                  reps * dram);
   }
 
   // --- Intra-block machinery ------------------------------------------------

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <queue>
 #include <sstream>
+#include <unordered_map>
 #include <vector>
 
 #include "gpusim/errors.hpp"
@@ -59,7 +61,9 @@ std::vector<std::size_t> admission_order(const LaunchConfig& cfg) {
 }
 
 struct ResidentBlock {
-  std::unique_ptr<BlockCtx> ctx;
+  // In-place so a recycled slot re-admits a block with zero allocations
+  // (the coroutine frame is likewise pooled — see task.hpp).
+  std::optional<BlockCtx> ctx;
   BlockTask task;
   std::size_t logical_block = 0;
   bool parked = false;
@@ -82,7 +86,10 @@ class Scheduler final : public FlagPublishHook {
         order_(admission_order(cfg)) {}
 
   void run() {
-    blocks_.reserve(std::min<std::size_t>(cfg_.grid_blocks, 1 << 20));
+    // Slots are recycled as blocks retire, so the roster never outgrows the
+    // concurrency limit (a 1M-tile count-only kernel keeps ~resident_limit
+    // ResidentBlock records alive, not 1M).
+    blocks_.reserve(report_.max_concurrent_blocks);
     // Fill every slot at t = 0.
     for (std::size_t s = 0;
          s < report_.max_concurrent_blocks && next_pending_ < order_.size();
@@ -92,7 +99,20 @@ class Scheduler final : public FlagPublishHook {
     while (!run_heap_.empty()) {
       const auto [t, bi] = run_heap_.top();
       run_heap_.pop();
-      step(bi);
+      std::size_t cur = bi;
+      // Keep stepping the same block while it remains the earliest runnable
+      // event — (clock, slot) lexicographic, exactly the heap's order — to
+      // spare the push/pop round trip per resume (the hot path of yield-loop
+      // persistent blocks).
+      while (step(cur)) {
+        const double now = blocks_[cur]->ctx->now_us();
+        if (!run_heap_.empty() &&
+            (run_heap_.top().first < now ||
+             (run_heap_.top().first == now && run_heap_.top().second < cur))) {
+          run_heap_.emplace(now, cur);
+          break;
+        }
+      }
     }
     if (parked_count_ > 0 || next_pending_ < order_.size()) {
       throw_deadlock();
@@ -100,6 +120,9 @@ class Scheduler final : public FlagPublishHook {
   }
 
   void on_flag_publish(const StatusArray& arr, std::size_t idx) override {
+    // Every flag write lands here (millions per count-only run); skip the
+    // table probe outright when nothing is parked.
+    if (parked_count_ == 0) return;
     const auto key = std::make_pair(static_cast<const void*>(&arr), idx);
     const auto it = waiters_.find(key);
     if (it == waiters_.end()) return;
@@ -125,21 +148,32 @@ class Scheduler final : public FlagPublishHook {
  private:
   void admit(double start_us) {
     const std::size_t logical = order_[next_pending_++];
-    auto rec = std::make_unique<ResidentBlock>();
-    rec->ctx = std::make_unique<BlockCtx>(logical, cfg_.threads_per_block,
-                                          cost_, report_.counters, start_us);
-    rec->ctx->set_publish_hook(this);
-    rec->ctx->set_checker(sim_.checker);
-    rec->logical_block = logical;
-    rec->task = body_(*rec->ctx, logical);
-    SAT_CHECK_MSG(rec->task.valid(),
+    std::size_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      blocks_.push_back(std::make_unique<ResidentBlock>());
+      slot = blocks_.size() - 1;
+    }
+    ResidentBlock& rec = *blocks_[slot];
+    rec.ctx.emplace(logical, cfg_.threads_per_block, cost_, report_.counters,
+                    start_us);
+    rec.ctx->set_publish_hook(this);
+    rec.ctx->set_checker(sim_.checker);
+    rec.logical_block = logical;
+    rec.parked = false;
+    rec.done = false;
+    rec.task = body_(*rec.ctx, logical);
+    SAT_CHECK_MSG(rec.task.valid(),
                   "kernel '" << cfg_.name << "' body returned invalid task");
-    blocks_.push_back(std::move(rec));
-    run_heap_.emplace(start_us, blocks_.size() - 1);
+    run_heap_.emplace(start_us, slot);
     ++live_count_;
   }
 
-  void step(std::size_t bi) {
+  /// Resumes block `bi` once. Returns true iff the block is still runnable
+  /// (yield or already-satisfied wait) — the caller re-queues or re-steps it.
+  bool step(std::size_t bi) {
     ResidentBlock& r = *blocks_[bi];
     SAT_DCHECK(!r.done && !r.parked);
     bool finished = false;
@@ -154,33 +188,32 @@ class Scheduler final : public FlagPublishHook {
     if (finished) {
       r.done = true;
       --live_count_;
-      report_.critical_path_us =
-          std::max(report_.critical_path_us, r.ctx->now_us());
+      const double end_us = r.ctx->now_us();
+      report_.critical_path_us = std::max(report_.critical_path_us, end_us);
       report_.sum_block_busy_us +=
-          r.ctx->now_us() - r.ctx->start_us() - r.ctx->wait_us();
+          end_us - r.ctx->start_us() - r.ctx->wait_us();
       report_.sum_block_wait_us += r.ctx->wait_us();
       report_.max_lookback_depth =
           std::max(report_.max_lookback_depth, r.ctx->max_lookback_depth());
       if (cfg_.record_trace) {
         report_.trace.push_back(BlockTraceEntry{
-            r.logical_block, r.ctx->start_us(), r.ctx->now_us(),
-            r.ctx->wait_us()});
+            r.logical_block, r.ctx->start_us(), end_us, r.ctx->wait_us()});
       }
-      // Hand the freed slot to the next pending block.
-      if (next_pending_ < order_.size()) admit(r.ctx->now_us());
-      // Release the coroutine frame and context (1M-tile kernels would
-      // otherwise hold every finished frame alive).
-      blocks_[bi]->task = BlockTask{};
-      blocks_[bi]->ctx.reset();
-      return;
+      // Release the frame and context (its frame returns to the pool),
+      // recycle the slot, then hand it to the next pending block. Order
+      // matters: admit() may claim this very slot.
+      r.task = BlockTask{};
+      r.ctx.reset();
+      free_slots_.push_back(bi);
+      if (next_pending_ < order_.size()) admit(end_us);
+      return false;
     }
     if (r.ctx->is_waiting()) {
       if (r.ctx->wait_satisfied()) {
         // Satisfied between suspension setup and now cannot happen in a
         // single-threaded simulation, but handle it for robustness.
         r.ctx->clear_wait();
-        run_heap_.emplace(r.ctx->now_us(), bi);
-        return;
+        return true;
       }
       r.ctx->count_spin();
       r.parked = true;
@@ -188,10 +221,10 @@ class Scheduler final : public FlagPublishHook {
       waiters_[{static_cast<const void*>(r.ctx->wait_array()),
                 r.ctx->wait_index()}]
           .push_back(bi);
-      return;
+      return false;
     }
     // Plain yield: runnable again at the same clock.
-    run_heap_.emplace(r.ctx->now_us(), bi);
+    return true;
   }
 
   [[noreturn]] void throw_deadlock() {
@@ -202,7 +235,7 @@ class Scheduler final : public FlagPublishHook {
        << (order_.size() - next_pending_) << " block(s) pending admission";
     std::size_t shown = 0;
     for (const auto& rec : blocks_) {
-      if (rec == nullptr || rec->done || !rec->parked) continue;
+      if (rec == nullptr || !rec->ctx || rec->done || !rec->parked) continue;
       if (shown++ == 10) {
         os << "\n  ...";
         break;
@@ -221,13 +254,27 @@ class Scheduler final : public FlagPublishHook {
   std::size_t next_pending_ = 0;
 
   std::vector<std::unique_ptr<ResidentBlock>> blocks_;
+  // Indices of retired slots available for the next admit().
+  std::vector<std::size_t> free_slots_;
   // Min-heap of (runnable-at time, block index). Ties broken by index for
   // determinism (std::pair comparison).
   std::priority_queue<std::pair<double, std::size_t>,
                       std::vector<std::pair<double, std::size_t>>,
                       std::greater<>>
       run_heap_;
-  std::map<std::pair<const void*, std::size_t>, std::vector<std::size_t>>
+  // (status array, cell) → parked block slots. Hashed: probed on every flag
+  // publish while any block is parked, so ordered-map node walks would
+  // dominate look-back-heavy count-only runs.
+  struct WaitKeyHash {
+    std::size_t operator()(
+        const std::pair<const void*, std::size_t>& k) const noexcept {
+      const auto a = reinterpret_cast<std::uintptr_t>(k.first);
+      return static_cast<std::size_t>(
+          (a ^ (k.second + 0x9e3779b97f4a7c15ULL)) * 0xff51afd7ed558ccdULL);
+    }
+  };
+  std::unordered_map<std::pair<const void*, std::size_t>,
+                     std::vector<std::size_t>, WaitKeyHash>
       waiters_;
   std::size_t parked_count_ = 0;
   std::size_t live_count_ = 0;

@@ -8,15 +8,111 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <utility>
 
+// The scheduler keeps at most the resident-block limit of live coroutines
+// but creates and destroys one per block, so frame allocation is a hot
+// malloc/free pair in count-only runs (a 1M-tile kernel is 1M frames). All
+// frames of one kernel body share a size, so an exact-size freelist turns
+// the pair into two pointer moves. Disabled under sanitizers so
+// use-after-free on frames stays visible to them.
+#ifndef SATLIB_FRAME_POOL
+#if defined(__SANITIZE_ADDRESS__)
+#define SATLIB_FRAME_POOL 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SATLIB_FRAME_POOL 0
+#else
+#define SATLIB_FRAME_POOL 1
+#endif
+#else
+#define SATLIB_FRAME_POOL 1
+#endif
+#endif
+
 namespace gpusim {
+
+namespace detail {
+
+/// Thread-local pool of coroutine frames, bucketed by exact byte size. The
+/// freelist is intrusive (the link lives in the dead frame), so the pool
+/// itself never allocates; chains are released when the thread exits.
+class FramePool {
+ public:
+  void* allocate(std::size_t bytes) {
+    for (Bucket& b : buckets_) {
+      if (b.size == bytes && b.head != nullptr) {
+        void* p = b.head;
+        b.head = *static_cast<void**>(p);
+        --b.count;
+        return p;
+      }
+    }
+    return ::operator new(bytes);
+  }
+
+  void deallocate(void* p, std::size_t bytes) noexcept {
+    for (Bucket& b : buckets_) {
+      if (b.size == 0) b.size = bytes;
+      if (b.size == bytes) {
+        if (b.count < kMaxFreePerBucket) {
+          *static_cast<void**>(p) = b.head;
+          b.head = p;
+          ++b.count;
+          return;
+        }
+        break;
+      }
+    }
+    ::operator delete(p);
+  }
+
+  ~FramePool() {
+    for (Bucket& b : buckets_) {
+      while (b.head != nullptr) {
+        void* next = *static_cast<void**>(b.head);
+        ::operator delete(b.head);
+        b.head = next;
+      }
+    }
+  }
+
+ private:
+  // Caps: distinct frame sizes seen per thread, and retained frames per
+  // size (≈ the largest resident-block population worth recycling).
+  static constexpr std::size_t kBuckets = 8;
+  static constexpr std::size_t kMaxFreePerBucket = 4096;
+  struct Bucket {
+    std::size_t size = 0;
+    void* head = nullptr;
+    std::size_t count = 0;
+  };
+  Bucket buckets_[kBuckets];
+};
+
+inline FramePool& frame_pool() {
+  thread_local FramePool pool;
+  return pool;
+}
+
+}  // namespace detail
 
 class BlockTask {
  public:
   struct promise_type {
     std::exception_ptr exception;
+
+#if SATLIB_FRAME_POOL
+    static void* operator new(std::size_t bytes) {
+      return detail::frame_pool().allocate(bytes);
+    }
+    static void operator delete(void* p, std::size_t bytes) noexcept {
+      detail::frame_pool().deallocate(p, bytes);
+    }
+#endif
 
     BlockTask get_return_object() {
       return BlockTask{

@@ -1,11 +1,13 @@
 // Multithreaded host SAT: the two-pass decomposition of Figure 2 with each
 // pass split over a thread pool (columns are independent in pass 1, rows in
 // pass 2 — no synchronization inside a pass, one barrier between passes).
+// Both passes run on the vectorized kernels of host/sat_simd.hpp.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 
+#include "host/sat_simd.hpp"
 #include "host/thread_pool.hpp"
 #include "util/span2d.hpp"
 
@@ -32,10 +34,7 @@ void sat_parallel(ThreadPool& pool, satutil::Span2d<const T> src,
     pool.parallel_for(chunks, [&](std::size_t c) {
       const std::size_t j0 = c * chunk_cols;
       const std::size_t j1 = std::min(j0 + chunk_cols, cols);
-      for (std::size_t j = j0; j < j1; ++j) dst(0, j) = src(0, j);
-      for (std::size_t i = 1; i < rows; ++i)
-        for (std::size_t j = j0; j < j1; ++j)
-          dst(i, j) = dst(i - 1, j) + src(i, j);
+      simd_col_prefix(src, dst, j0, j1);
     });
   }
 
@@ -47,13 +46,8 @@ void sat_parallel(ThreadPool& pool, satutil::Span2d<const T> src,
     pool.parallel_for(chunks, [&](std::size_t c) {
       const std::size_t i0 = c * chunk_rows;
       const std::size_t i1 = std::min(i0 + chunk_rows, rows);
-      for (std::size_t i = i0; i < i1; ++i) {
-        T run{};
-        for (std::size_t j = 0; j < cols; ++j) {
-          run += dst(i, j);
-          dst(i, j) = run;
-        }
-      }
+      for (std::size_t i = i0; i < i1; ++i)
+        simd_row_scan(&dst(i, 0), &dst(i, 0), cols);
     });
   }
 }

@@ -139,11 +139,9 @@ RunResult run_2r1w(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
         // consecutive lanes touch consecutive aux elements (coalesced).
         const std::size_t l0 = block * static_cast<std::size_t>(threads);
         const std::size_t nl = std::min<std::size_t>(threads, rows - l0);
-        for (std::size_t j = 0; j < gc; ++j) {
-          ctx.read_contiguous(nl, sizeof(T));
-          ctx.write_contiguous(nl, sizeof(T));
-          ctx.warp_alu((nl + 31) / 32);
-        }
+        ctx.read_contiguous_rows(gc, nl, sizeof(T));
+        ctx.write_contiguous_rows(gc, nl, sizeof(T));
+        ctx.warp_alu(gc * ((nl + 31) / 32));
         if (mat) {
           for (std::size_t l = l0; l < l0 + nl; ++l) {
             const std::size_t ti = l / w;
@@ -160,11 +158,9 @@ RunResult run_2r1w(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
         const std::size_t l0 =
             (block - grs_blocks) * static_cast<std::size_t>(threads);
         const std::size_t nl = std::min<std::size_t>(threads, cols - l0);
-        for (std::size_t i = 0; i < gr; ++i) {
-          ctx.read_contiguous(nl, sizeof(T));
-          ctx.write_contiguous(nl, sizeof(T));
-          ctx.warp_alu((nl + 31) / 32);
-        }
+        ctx.read_contiguous_rows(gr, nl, sizeof(T));
+        ctx.write_contiguous_rows(gr, nl, sizeof(T));
+        ctx.warp_alu(gr * ((nl + 31) / 32));
         if (mat) {
           for (std::size_t l = l0; l < l0 + nl; ++l) {
             const std::size_t tj = l / w;
@@ -178,11 +174,9 @@ RunResult run_2r1w(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
         }
       } else {
         // GS: SAT of the gr×gc LS array (2R2W-style, one block, tiny).
-        for (std::size_t i = 0; i < gr; ++i) {
-          ctx.read_contiguous(gc, sizeof(T));
-          ctx.write_contiguous(gc, sizeof(T));
-          ctx.warp_alu((gc + 31) / 32);
-        }
+        ctx.read_contiguous_rows(gr, gc, sizeof(T));
+        ctx.write_contiguous_rows(gr, gc, sizeof(T));
+        ctx.warp_alu(gr * ((gc + 31) / 32));
         if (mat) {
           for (std::size_t ti = 0; ti < gr; ++ti)
             for (std::size_t tj = 0; tj < gc; ++tj) {

@@ -48,11 +48,10 @@ RunResult run_2r2w(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
       const std::size_t c0 = block * static_cast<std::size_t>(threads);
       const std::size_t nc = std::min<std::size_t>(threads, cols - c0);
       // One read + one write per element; the running sums live in registers.
-      for (std::size_t i = 0; i < rows; ++i) {
-        ctx.read_contiguous(nc, sizeof(T));
-        ctx.write_contiguous(nc, sizeof(T));
-        ctx.warp_alu((nc + 31) / 32);
-      }
+      // Charged as one closed-form batch over the `rows` row steps.
+      ctx.read_contiguous_rows(rows, nc, sizeof(T));
+      ctx.write_contiguous_rows(rows, nc, sizeof(T));
+      ctx.warp_alu(rows * ((nc + 31) / 32));
       if (mat) {
         const T* in = a.data();
         T* out = b.data();
@@ -85,11 +84,9 @@ RunResult run_2r2w(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
                     std::size_t block) -> gpusim::BlockTask {
       const std::size_t r0 = block * static_cast<std::size_t>(threads);
       const std::size_t nr = std::min<std::size_t>(threads, rows - r0);
-      for (std::size_t j = 0; j < cols; ++j) {
-        ctx.read_strided_walk(nr, sizeof(T), /*l2_reuse=*/true);
-        ctx.write_strided_walk(nr, sizeof(T), true);
-        ctx.warp_alu((nr + 31) / 32);
-      }
+      ctx.read_strided_walk_rows(cols, nr, sizeof(T), /*l2_reuse=*/true);
+      ctx.write_strided_walk_rows(cols, nr, sizeof(T), true);
+      ctx.warp_alu(cols * ((nr + 31) / 32));
       if (mat) {
         T* out = b.data();
         for (std::size_t r = r0; r < r0 + nr; ++r) {

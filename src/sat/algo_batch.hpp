@@ -84,7 +84,7 @@ RunResult run_skss_lb_batch(gpusim::SimContext& sim,
     {
       // load_tile against the image sub-buffer: account + copy manually to
       // honour the batch offset.
-      for (std::size_t i = 0; i < w; ++i) ctx.read_contiguous(w, sizeof(T));
+      ctx.read_contiguous_rows(w, w, sizeof(T));
       charge_tile_shared_pass(ctx, w, 1);
       if (mat) {
         const T* base = a.data() + elem_off + (ti * w) * cols + tj * w;
@@ -169,7 +169,7 @@ RunResult run_skss_lb_batch(gpusim::SimContext& sim,
     ctx.sync();
     sat_in_shared(ctx, tile);
     {
-      for (std::size_t i = 0; i < w; ++i) ctx.write_contiguous(w, sizeof(T));
+      ctx.write_contiguous_rows(w, w, sizeof(T));
       charge_tile_shared_pass(ctx, w, 1);
       if (mat) {
         T* base = b.data() + elem_off + (ti * w) * cols + tj * w;

@@ -144,11 +144,11 @@ RunResult run_hybrid(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
               run = grs_pass ? aux.grs[pi + lane] : aux.gcs[pi + lane];
             }
           }
-          for (std::size_t tv = t_begin; tv < t_end; ++tv) {
-            ctx.read_contiguous(1, sizeof(T));
-            ctx.write_contiguous(1, sizeof(T));
-            ctx.warp_alu(1);
-            if (mat) {
+          ctx.read_contiguous_rows(t_end - t_begin, 1, sizeof(T));
+          ctx.write_contiguous_rows(t_end - t_begin, 1, sizeof(T));
+          ctx.warp_alu(t_end - t_begin);
+          if (mat) {
+            for (std::size_t tv = t_begin; tv < t_end; ++tv) {
               const std::size_t bi = grs_pass ? aux.vec_base(grid, tfix, tv)
                                               : aux.vec_base(grid, tv, tfix);
               if (grs_pass) {
@@ -170,11 +170,11 @@ RunResult run_hybrid(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
         const auto& tiles = region_c ? c_tiles : a_tiles;
         // c_tiles/a_tiles are row-major; row-major order is a valid
         // topological order for the gs recurrence.
-        for (const auto& [ti, tj] : tiles) {
-          ctx.read_contiguous(4, sizeof(T));
-          ctx.write_contiguous(1, sizeof(T));
-          ctx.warp_alu(1);
-          if (mat) {
+        ctx.read_contiguous_rows(tiles.size(), 4, sizeof(T));
+        ctx.write_contiguous_rows(tiles.size(), 1, sizeof(T));
+        ctx.warp_alu(tiles.size());
+        if (mat) {
+          for (const auto& [ti, tj] : tiles) {
             T v = aux.ls[grid.idx(ti, tj)];
             if (ti > 0) v += gs_at(ti - 1, tj);
             if (tj > 0) v += gs_at(ti, tj - 1);

@@ -50,7 +50,7 @@ RunResult run_skss(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
   cfg.seed = p.seed;
 
   auto body = [&, gr, gc, w, mat](gpusim::BlockCtx& ctx,
-                                  std::size_t block) -> gpusim::BlockTask {
+                                  std::size_t /*block*/) -> gpusim::BlockTask {
     for (;;) {
       // Yield before grabbing: persistent blocks contend for the counter in
       // real time, so the grab must happen in simulated-clock order, not in

@@ -62,7 +62,7 @@ RunResult run_skss_lb(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
   cfg.seed = p.seed;
 
   auto body = [&, w, mat](gpusim::BlockCtx& ctx,
-                          std::size_t block) -> gpusim::BlockTask {
+                          std::size_t /*block*/) -> gpusim::BlockTask {
     // Self-assignment: the atomic grab hands tiles out in *dispatch* order,
     // decoupling the work order from blockIdx. The direct-assignment
     // ablation (tile = blockIdx) deadlocks under adversarial dispatch.

@@ -55,7 +55,7 @@ void load_tile(gpusim::BlockCtx& ctx, const gpusim::GlobalBuffer<T>& src,
                gpusim::SharedTile<T>& tile) {
   const std::size_t w = grid.tile_w();
   const std::size_t stride = grid.cols();
-  for (std::size_t i = 0; i < w; ++i) ctx.read_contiguous(w, sizeof(T));
+  ctx.read_contiguous_rows(w, w, sizeof(T));
   charge_tile_shared_pass(ctx, w, 1);
   if (tile.materialized()) {
     const T* base = src.data() + (ti * w) * stride + tj * w;
@@ -71,7 +71,7 @@ void store_tile(gpusim::BlockCtx& ctx, const gpusim::SharedTile<T>& tile,
                 std::size_t ti, std::size_t tj) {
   const std::size_t w = grid.tile_w();
   const std::size_t stride = grid.cols();
-  for (std::size_t i = 0; i < w; ++i) ctx.write_contiguous(w, sizeof(T));
+  ctx.write_contiguous_rows(w, w, sizeof(T));
   charge_tile_shared_pass(ctx, w, 1);
   if (tile.materialized()) {
     T* base = dst.data() + (ti * w) * stride + tj * w;

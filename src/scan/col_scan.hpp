@@ -78,12 +78,11 @@ gpusim::KernelReport col_wise_inclusive_scan(gpusim::SimContext& sim,
     const std::size_t warps_row = (ncols + 31) / 32;
 
     // Stream the strip in: coalesced row segments; accumulate column scans
-    // in shared as we go (one shared store + one add per element).
-    for (std::size_t r = 0; r < nrows; ++r) {
-      ctx.read_contiguous(ncols, sizeof(T));
-      ctx.shared_cycles(2 * warps_row);
-      ctx.warp_alu(warps_row);
-    }
+    // in shared as we go (one shared store + one add per element). One
+    // closed-form charge covers all nrows row steps.
+    ctx.read_contiguous_rows(nrows, ncols, sizeof(T));
+    ctx.shared_cycles(2 * warps_row * nrows);
+    ctx.warp_alu(warps_row * nrows);
     // The strip's column sums are the last scanned row; publish them.
     if (mat) {
       const T* in = src.data();
@@ -137,11 +136,9 @@ gpusim::KernelReport col_wise_inclusive_scan(gpusim::SimContext& sim,
     ctx.flag_publish(status, block, kPrefixReady);
 
     // Add offsets to the strip in shared and stream it out, coalesced.
-    for (std::size_t r = 0; r < nrows; ++r) {
-      ctx.shared_cycles(warps_row);
-      ctx.warp_alu(warps_row);
-      ctx.write_contiguous(ncols, sizeof(T));
-    }
+    ctx.shared_cycles(warps_row * nrows);
+    ctx.warp_alu(warps_row * nrows);
+    ctx.write_contiguous_rows(nrows, ncols, sizeof(T));
     if (mat && strip > 0) {
       T* out = dst.data();
       for (std::size_t r = 0; r < nrows; ++r)

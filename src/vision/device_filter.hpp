@@ -54,15 +54,14 @@ gpusim::KernelReport run_box_filter_kernel(gpusim::SimContext& sim,
     const std::size_t hc0 = c0 > radius + 1 ? c0 - radius - 1 : 0;
     const std::size_t hr1 = std::min(rows, r0 + w + radius);
     const std::size_t hc1 = std::min(cols, c0 + w + radius);
-    for (std::size_t i = hr0; i < hr1; ++i)
-      ctx.read_contiguous(hc1 - hc0, sizeof(T));
+    ctx.read_contiguous_rows(hr1 - hr0, hc1 - hc0, sizeof(T));
     ctx.shared_cycles((hr1 - hr0) * ((hc1 - hc0 + 31) / 32));
 
     // Four shared-memory lookups + the divide per pixel, then one coalesced
     // output row per tile row.
     ctx.shared_cycles(4 * (w * w / 32));
     ctx.warp_alu(5 * (w * w / 32));
-    for (std::size_t i = 0; i < w; ++i) ctx.write_contiguous(w, sizeof(T));
+    ctx.write_contiguous_rows(w, w, sizeof(T));
 
     if (mat) {
       const satutil::Span2d<const T> b(table.data(), rows, cols);

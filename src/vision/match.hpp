@@ -51,7 +51,6 @@ template <class T>
   for (std::size_t r = 0; r + th <= rows; ++r) {
     for (std::size_t c = 0; c + tw <= cols; ++c) {
       const sat::Rect rect{r, c, r + th, c + tw};
-      const double wmean = mom.mean(rect);
       const double wvar = mom.variance(rect) * area;
       if (wvar <= 1e-12 || tnorm <= 1e-12) continue;
       double cross = 0;

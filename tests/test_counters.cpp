@@ -170,13 +170,125 @@ std::vector<CounterCase> counter_cases() {
 
 INSTANTIATE_TEST_SUITE_P(AllAlgos, CounterLaws,
                          ::testing::ValuesIn(counter_cases()),
-                         [](const auto& info) {
-                           std::string name = satalgo::name_of(info.param.algo);
+                         [](const auto& param_info) {
+                           std::string name = satalgo::name_of(param_info.param.algo);
                            for (char& ch : name)
                              if (!isalnum(static_cast<unsigned char>(ch)))
                                ch = '_';
-                           return name + "_n" + std::to_string(info.param.n) +
-                                  "_w" + std::to_string(info.param.w);
+                           return name + "_n" + std::to_string(param_info.param.n) +
+                                  "_w" + std::to_string(param_info.param.w);
+                         });
+
+// --- Batched-charge conservation ------------------------------------------
+//
+// The count-only fast path replaces per-row accounting loops with one
+// closed-form charge (BlockCtx::{read,write}_contiguous_rows and the strided
+// _rows variants). The integer counters must be *bit-identical* to the old
+// loop and the simulated clock equal to FP rounding.
+
+void expect_counters_eq(const gpusim::Counters& a, const gpusim::Counters& b) {
+  EXPECT_EQ(a.element_reads, b.element_reads);
+  EXPECT_EQ(a.element_writes, b.element_writes);
+  EXPECT_EQ(a.global_bytes_read, b.global_bytes_read);
+  EXPECT_EQ(a.global_bytes_written, b.global_bytes_written);
+  EXPECT_EQ(a.global_read_sectors, b.global_read_sectors);
+  EXPECT_EQ(a.global_write_sectors, b.global_write_sectors);
+  EXPECT_EQ(a.dram_read_sectors, b.dram_read_sectors);
+  EXPECT_EQ(a.dram_write_sectors, b.dram_write_sectors);
+  EXPECT_EQ(a.atomic_ops, b.atomic_ops);
+  EXPECT_EQ(a.flag_reads, b.flag_reads);
+  EXPECT_EQ(a.flag_polls, b.flag_polls);
+  EXPECT_EQ(a.flag_writes, b.flag_writes);
+  EXPECT_EQ(a.shared_cycles, b.shared_cycles);
+  EXPECT_EQ(a.shared_conflict_cycles, b.shared_conflict_cycles);
+  EXPECT_EQ(a.shfl_ops, b.shfl_ops);
+  EXPECT_EQ(a.warp_alu_ops, b.warp_alu_ops);
+  EXPECT_EQ(a.syncthreads, b.syncthreads);
+}
+
+TEST(BatchedCharges, RowsHelpersMatchPerRowLoopsExactly) {
+  const gpusim::SimCostParams cost;
+  // Rows × segment-length grid, including segments that straddle sector
+  // boundaries (count not a multiple of 8 floats / 4 doubles per 32 B).
+  for (std::size_t rows : {1ul, 2ul, 7ul, 32ul, 129ul}) {
+    for (std::size_t count : {1ul, 3ul, 8ul, 17ul, 32ul, 100ul}) {
+      for (std::size_t elem_bytes : {4ul, 8ul}) {
+        for (bool l2_reuse : {false, true}) {
+          gpusim::Counters batched_c, looped_c;
+          gpusim::BlockCtx batched(0, 1024, cost, batched_c, 0.0);
+          gpusim::BlockCtx looped(0, 1024, cost, looped_c, 0.0);
+
+          batched.read_contiguous_rows(rows, count, elem_bytes);
+          batched.write_contiguous_rows(rows, count, elem_bytes);
+          batched.read_strided_walk_rows(rows, count, elem_bytes, l2_reuse);
+          batched.write_strided_walk_rows(rows, count, elem_bytes, l2_reuse);
+          for (std::size_t r = 0; r < rows; ++r)
+            looped.read_contiguous(count, elem_bytes);
+          for (std::size_t r = 0; r < rows; ++r)
+            looped.write_contiguous(count, elem_bytes);
+          for (std::size_t r = 0; r < rows; ++r)
+            looped.read_strided_walk(count, elem_bytes, l2_reuse);
+          for (std::size_t r = 0; r < rows; ++r)
+            looped.write_strided_walk(count, elem_bytes, l2_reuse);
+
+          SCOPED_TRACE("rows=" + std::to_string(rows) +
+                       " count=" + std::to_string(count) +
+                       " elem_bytes=" + std::to_string(elem_bytes) +
+                       " l2_reuse=" + std::to_string(l2_reuse));
+          expect_counters_eq(batched_c, looped_c);
+          // The clock sums the same per-sector prices in a different
+          // association order: equal up to accumulated FP rounding.
+          EXPECT_NEAR(batched.now_us(), looped.now_us(),
+                      1e-9 * looped.now_us() + 1e-12);
+        }
+      }
+    }
+  }
+}
+
+// Count-only runs take the batched fast path *and* skip aux materialization;
+// materialized runs execute the arithmetic loops alongside the same charges.
+// Both modes must agree on every integer counter, for every algorithm, size
+// and tile width Table III sweeps.
+class CountOnlyConservation : public ::testing::TestWithParam<CounterCase> {};
+
+TEST_P(CountOnlyConservation, CountOnlyCountersMatchMaterializedBitExactly) {
+  const auto& c = GetParam();
+  gpusim::Counters totals[2];
+  double model_us[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    gpusim::SimContext sim;
+    sim.materialize = (mode == 1);
+    gpusim::GlobalBuffer<float> a(sim, c.n * c.n, "in"),
+        b(sim, c.n * c.n, "out");
+    SatParams p;
+    p.tile_w = c.w;
+    const auto run = satalgo::run_algorithm(sim, c.algo, a, b, c.n, p);
+    totals[mode] = run.totals();
+    model_us[mode] = 0.0;
+    for (const auto& rep : run.reports) model_us[mode] += rep.critical_path_us;
+  }
+  expect_counters_eq(totals[0], totals[1]);
+  EXPECT_NEAR(model_us[0], model_us[1], 1e-6 * model_us[1]);
+}
+
+std::vector<CounterCase> conservation_cases() {
+  std::vector<CounterCase> cases;
+  for (auto algo : satalgo::all_sat_algorithms())
+    for (std::size_t n : {256ul, 1024ul})
+      for (std::size_t w : {32ul, 64ul, 128ul}) cases.push_back({algo, n, w});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, CountOnlyConservation,
+                         ::testing::ValuesIn(conservation_cases()),
+                         [](const auto& param_info) {
+                           std::string name = satalgo::name_of(param_info.param.algo);
+                           for (char& ch : name)
+                             if (!isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           return name + "_n" + std::to_string(param_info.param.n) +
+                                  "_w" + std::to_string(param_info.param.w);
                          });
 
 TEST(CounterLawsSpecial, DuplicationIsExactlyOneReadOneWrite) {

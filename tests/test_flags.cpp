@@ -103,11 +103,11 @@ TEST(GlobalBuffer, FreeingMoreThanAllocatedThrows) {
 TEST(GlobalBuffer, View2dRejectsOversizedShapes) {
   SimContext sim;
   GlobalBuffer<float> buf(sim, 16, "t");
-  EXPECT_NO_THROW(buf.view2d(4, 4));
-  EXPECT_THROW(buf.view2d(5, 4), satutil::CheckError);
+  EXPECT_NO_THROW((void)buf.view2d(4, 4));
+  EXPECT_THROW((void)buf.view2d(5, 4), satutil::CheckError);
   // rows*cols would wrap around 2^64 and pass a naive product check.
-  EXPECT_THROW(buf.view2d(std::size_t{1} << 62, 8), satutil::CheckError);
-  EXPECT_NO_THROW(buf.view2d(0, 999));  // empty view of any width
+  EXPECT_THROW((void)buf.view2d(std::size_t{1} << 62, 8), satutil::CheckError);
+  EXPECT_NO_THROW((void)buf.view2d(0, 999));  // empty view of any width
 }
 
 TEST(GlobalBuffer, UploadCopiesHostData) {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 
 #include "core/matrix.hpp"
 #include "host/sat_cpu.hpp"
@@ -88,10 +89,10 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(260ul, 100ul, 64ul),
                       std::make_tuple(50ul, 50ul, 128ul),  // single tile
                       std::make_tuple(33ul, 97ul, 7ul)),
-    [](const auto& info) {
-      return std::to_string(std::get<0>(info.param)) + "x" +
-             std::to_string(std::get<1>(info.param)) + "_t" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& param_info) {
+      return std::to_string(std::get<0>(param_info.param)) + "x" +
+             std::to_string(std::get<1>(param_info.param)) + "_t" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 TEST(HostSat, OneByOne) {
@@ -144,6 +145,40 @@ TEST(ThreadPool, SingleWorkerStillCompletes) {
   std::atomic<int> total{0};
   pool.parallel_for(64, [&](std::size_t) { ++total; });
   EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ZeroChunksLeavesPoolReusable) {
+  // Regression for the chunks == 0 guard: the early return must not touch
+  // the generation/in-flight bookkeeping, or the next real batch deadlocks.
+  sathost::ThreadPool pool(3);
+  pool.parallel_for(0, [&](std::size_t) { FAIL(); });
+  std::atomic<int> total{0};
+  pool.parallel_for(100, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 100);
+  pool.parallel_for(0, [&](std::size_t) { FAIL(); });
+  pool.parallel_for(100, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, DefaultWorkerCountRunsOnOneCoreMachine) {
+  // workers == 0 resolves to hardware_concurrency(), which is 1 on a
+  // single-core machine (and may legally report 0 → clamped to 1). With one
+  // worker the pool spawns no threads at all: every chunk must run on the
+  // calling thread, and parallel_for must still terminate.
+  sathost::ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<int> total{0};
+  pool.parallel_for(128, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 128);
+
+  sathost::ThreadPool one(1);
+  EXPECT_EQ(one.size(), 1u);
+  const auto caller = std::this_thread::get_id();
+  bool all_on_caller = true;
+  one.parallel_for(32, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) all_on_caller = false;
+  });
+  EXPECT_TRUE(all_on_caller);
 }
 
 }  // namespace

@@ -55,9 +55,10 @@ TEST(ProtocolChecker, AllAlgorithmsVerifyCleanly) {
         EXPECT_GT(checker.stats().kernels_checked, 0u);
         // Every algorithm except the naive 2R2W (no aux regions, no flags)
         // exercises the race checker.
-        if (algo != satalgo::Algorithm::k2R2W)
+        if (algo != satalgo::Algorithm::k2R2W) {
           EXPECT_GT(checker.stats().elements_checked, 0u)
               << satalgo::name_of(algo) << " n=" << n << " W=" << w;
+        }
       }
     }
   }

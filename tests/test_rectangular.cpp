@@ -73,9 +73,9 @@ INSTANTIATE_TEST_SUITE_P(Shapes, RectGrid,
                                            std::pair<std::size_t, std::size_t>{3, 5},
                                            std::pair<std::size_t, std::size_t>{8, 2},
                                            std::pair<std::size_t, std::size_t>{5, 5}),
-                         [](const auto& info) {
-                           return std::to_string(info.param.first) + "x" +
-                                  std::to_string(info.param.second);
+                         [](const auto& param_info) {
+                           return std::to_string(param_info.param.first) + "x" +
+                                  std::to_string(param_info.param.second);
                          });
 
 TEST(RectGrid, SquareGridStillMatchesFigure9) {
@@ -136,15 +136,15 @@ std::vector<RectCase> rect_cases() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RectAlgorithms,
                          ::testing::ValuesIn(rect_cases()),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            std::string name =
-                               satalgo::name_of(info.param.algo);
+                               satalgo::name_of(param_info.param.algo);
                            for (char& ch : name)
                              if (!isalnum(static_cast<unsigned char>(ch)))
                                ch = '_';
-                           return name + "_" + std::to_string(info.param.rows) +
-                                  "x" + std::to_string(info.param.cols) + "_w" +
-                                  std::to_string(info.param.w);
+                           return name + "_" + std::to_string(param_info.param.rows) +
+                                  "x" + std::to_string(param_info.param.cols) + "_w" +
+                                  std::to_string(param_info.param.w);
                          });
 
 TEST(RectAlgorithms, SkssLbRectUnderAdversarialDispatch) {

@@ -122,7 +122,7 @@ std::vector<Case> correctness_cases() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, AllAlgorithms,
                          ::testing::ValuesIn(correctness_cases()),
-                         [](const auto& info) { return info.param.label(); });
+                         [](const auto& param_info) { return param_info.param.label(); });
 
 class HybridR : public ::testing::TestWithParam<double> {};
 

@@ -104,9 +104,9 @@ INSTANTIATE_TEST_SUITE_P(
         ScanCase{100, 96, {64, 1}, {64, 8, 32}},
         // Both directions ragged.
         ScanCase{33, 257, {32, 3}, {32, 5, 100}}),
-    [](const auto& info) {
-      return "r" + std::to_string(info.param.rows) + "c" +
-             std::to_string(info.param.cols);
+    [](const auto& param_info) {
+      return "r" + std::to_string(param_info.param.rows) + "c" +
+             std::to_string(param_info.param.cols);
     });
 
 TEST(RowScan, TrafficIsOneReadOneWritePerElement) {

@@ -65,9 +65,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<std::size_t>(32, 64, 128),
                        ::testing::Values(SharedArrangement::RowMajor,
                                          SharedArrangement::Diagonal)),
-    [](const auto& info) {
-      return "W" + std::to_string(std::get<0>(info.param)) + "_" +
-             (std::get<1>(info.param) == SharedArrangement::Diagonal
+    [](const auto& param_info) {
+      return "W" + std::to_string(std::get<0>(param_info.param)) + "_" +
+             (std::get<1>(param_info.param) == SharedArrangement::Diagonal
                   ? "diagonal"
                   : "rowmajor");
     });

@@ -1,0 +1,123 @@
+// Tests for the portable SIMD layer (util/simd.hpp) and the row-scan
+// kernels built on it (host/sat_simd.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "host/sat_simd.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace {
+
+template <class T>
+class SimdVec : public ::testing::Test {};
+
+using VecTypes =
+    ::testing::Types<float, double, std::int32_t, std::uint32_t, std::int64_t>;
+TYPED_TEST_SUITE(SimdVec, VecTypes);
+
+/// Random *integer-valued* elements of T: small integers are exactly
+/// representable in every tested type, so sums are independent of
+/// association and the SIMD log-step scan must match bit-for-bit.
+template <class T>
+std::vector<T> random_values(std::size_t n, std::uint64_t seed, int lo,
+                             int hi) {
+  satutil::Rng rng(seed);
+  std::vector<T> v(n);
+  for (T& x : v) x = static_cast<T>(rng.uniform<int>(lo, hi));
+  return v;
+}
+
+TYPED_TEST(SimdVec, LoadStoreRoundTripUnaligned) {
+  using V = satsimd::Vec<TypeParam>;
+  // Offset the base by one element so the load is genuinely unaligned.
+  std::vector<TypeParam> buf(V::width + 1), out(V::width + 1);
+  for (std::size_t k = 0; k < buf.size(); ++k)
+    buf[k] = static_cast<TypeParam>(k + 1);
+  V::load(buf.data() + 1).store(out.data() + 1);
+  for (std::size_t k = 1; k < buf.size(); ++k) EXPECT_EQ(out[k], buf[k]);
+}
+
+TYPED_TEST(SimdVec, LoadStoreRoundTripAligned) {
+  using V = satsimd::Vec<TypeParam>;
+  alignas(64) TypeParam buf[V::width];
+  alignas(64) TypeParam out[V::width];
+  for (std::size_t k = 0; k < V::width; ++k)
+    buf[k] = static_cast<TypeParam>(3 * k + 2);
+  V::load_aligned(buf).store_aligned(out);
+  for (std::size_t k = 0; k < V::width; ++k) EXPECT_EQ(out[k], buf[k]);
+}
+
+TYPED_TEST(SimdVec, AddAndBroadcast) {
+  using V = satsimd::Vec<TypeParam>;
+  std::vector<TypeParam> a(V::width), out(V::width);
+  for (std::size_t k = 0; k < V::width; ++k)
+    a[k] = static_cast<TypeParam>(k + 1);
+  V v = V::load(a.data()) + V::broadcast(static_cast<TypeParam>(10));
+  v += V::zero();
+  v.store(out.data());
+  for (std::size_t k = 0; k < V::width; ++k)
+    EXPECT_EQ(out[k], static_cast<TypeParam>(k + 11));
+}
+
+TYPED_TEST(SimdVec, InclusiveScanMatchesStdInclusiveScan) {
+  using V = satsimd::Vec<TypeParam>;
+  // Small integer values: every partial sum is exactly representable in
+  // float too, so the log-step association cannot change the result.
+  const auto in = random_values<TypeParam>(V::width, 99, 0, 9);
+  std::vector<TypeParam> expect(V::width), got(V::width);
+  std::inclusive_scan(in.begin(), in.end(), expect.begin());
+  const V s = V::load(in.data()).inclusive_scan();
+  s.store(got.data());
+  for (std::size_t k = 0; k < V::width; ++k) EXPECT_EQ(got[k], expect[k]);
+  EXPECT_EQ(s.last(), expect.back());
+}
+
+TYPED_TEST(SimdVec, RowScanMatchesStdInclusiveScanAllLengths) {
+  // Property test over every remainder case around the vector width,
+  // including a carry seed and in-place operation.
+  for (std::size_t n : {0ul, 1ul, 2ul, 3ul, 5ul, 7ul, 8ul, 9ul, 15ul, 16ul,
+                        17ul, 31ul, 33ul, 100ul, 257ul}) {
+    const auto in =
+        random_values<TypeParam>(n, 1000 + n, 0, 9);
+    std::vector<TypeParam> expect(n);
+    std::inclusive_scan(in.begin(), in.end(), expect.begin(),
+                        std::plus<>{}, TypeParam{7});
+    std::vector<TypeParam> got = in;
+    const TypeParam carry =
+        sathost::simd_row_scan(got.data(), got.data(), n, TypeParam{7});
+    EXPECT_EQ(got, expect) << "n=" << n;
+    EXPECT_EQ(carry, n == 0 ? TypeParam{7} : expect.back()) << "n=" << n;
+  }
+}
+
+TEST(SimdBackend, ReportsAName) {
+  EXPECT_NE(satsimd::backend_name(), nullptr);
+#if defined(SATLIB_SIMD) && (defined(__AVX2__) || defined(__SSE2__))
+  EXPECT_TRUE(satsimd::kVectorized);
+  EXPECT_GE(satsimd::Vec<float>::width, 4u);
+#else
+  EXPECT_FALSE(satsimd::kVectorized);
+#endif
+}
+
+TEST(SimdRowScanAdd, FusesScanAndVerticalAdd) {
+  const std::size_t n = 41;
+  const auto src = random_values<std::int32_t>(n, 7, 0, 50);
+  const auto prev = random_values<std::int32_t>(n, 8, 0, 50);
+  std::vector<std::int32_t> got(n), expect(n);
+  std::int32_t run = 5;
+  for (std::size_t j = 0; j < n; ++j) {
+    run += src[j];
+    expect[j] = run + prev[j];
+  }
+  const std::int32_t carry =
+      sathost::simd_row_scan_add(src.data(), prev.data(), got.data(), n, 5);
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(carry, run);
+}
+
+}  // namespace

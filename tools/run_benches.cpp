@@ -1,0 +1,149 @@
+// Regenerates the repository's perf ledger:
+//
+//   ./build/tools/run_benches            # full run, writes to repo root
+//   ./build/tools/run_benches --smoke    # small sizes, CI-friendly
+//
+// Emits BENCH_host_sat.json (host SAT implementations, Melem/s and ns/elem)
+// and BENCH_sim.json (simulator count-only throughput on the Table III
+// workload) into --out-dir. Dependency-free: uses bench/bench_json.hpp, not
+// google-benchmark, so it builds even with SATLIB_BUILD_BENCHES=OFF.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/matrix.hpp"
+#include "host/sat_cpu.hpp"
+#include "host/sat_parallel.hpp"
+#include "host/sat_simd.hpp"
+#include "host/sat_wavefront.hpp"
+#include "host/thread_pool.hpp"
+#include "model/table3.hpp"
+#include "util/argparse.hpp"
+
+namespace {
+
+using satbench::Record;
+
+int iterations_for(std::size_t n, bool smoke) {
+  if (smoke) return 3;
+  // Best-of over enough repeats that a noisy neighbour on a shared box does
+  // not end up in the committed ledger.
+  return n >= 4096 ? 5 : 9;
+}
+
+template <class Fn>
+Record time_host(const std::string& impl, std::size_t n, bool smoke,
+                 Fn&& fn) {
+  Record r;
+  r.name = "host_sat/" + impl + "/" + std::to_string(n);
+  r.impl = impl;
+  r.dtype = "f32";
+  r.n = n;
+  r.elems = n * n;
+  r.iterations = iterations_for(n, smoke);
+  r.wall_ms = satbench::time_best_ms(r.iterations, fn);
+  std::printf("  %-28s %10.3f ms  %9.1f Melem/s\n", r.name.c_str(), r.wall_ms,
+              r.melem_per_s());
+  return r;
+}
+
+std::vector<Record> run_host_benches(bool smoke) {
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{256, 1024}
+            : std::vector<std::size_t>{1024, 4096};
+  const std::size_t workers =
+      std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  sathost::ThreadPool pool(workers);
+
+  std::vector<Record> out;
+  for (std::size_t n : sizes) {
+    const auto a = sat::Matrix<float>::random(n, n, 1, 0.0f, 1.0f);
+    sat::Matrix<float> b(n, n);
+    const auto src = a.view();
+    const auto dst = b.view();
+    out.push_back(time_host("sequential", n, smoke, [&] {
+      sathost::sat_sequential<float>(src, dst);
+    }));
+    out.push_back(time_host("two_pass", n, smoke, [&] {
+      sathost::sat_two_pass<float>(src, dst);
+    }));
+    // tile=64: the default and the configuration the blocked-vs-sequential
+    // regression case below watches.
+    out.push_back(time_host("blocked", n, smoke, [&] {
+      sathost::sat_blocked<float>(src, dst, 64);
+    }));
+    out.push_back(time_host("simd", n, smoke, [&] {
+      sathost::sat_simd<float>(src, dst);
+    }));
+    out.push_back(time_host("parallel", n, smoke, [&] {
+      sathost::sat_parallel<float>(pool, src, dst);
+    }));
+    out.push_back(time_host("wavefront", n, smoke, [&] {
+      sathost::sat_wavefront<float>(pool, src, dst, 128);
+    }));
+  }
+  return out;
+}
+
+std::vector<Record> run_sim_benches(bool smoke) {
+  // The bench_table3 hot path: count-only SKSS-LB cells (the sizes that
+  // dominate a full Table III regeneration).
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{1024}
+            : std::vector<std::size_t>{4096, 16384};
+  std::vector<Record> out;
+  for (std::size_t n : sizes) {
+    Record r;
+    r.name = "sim_count_only/skss_lb/" + std::to_string(n);
+    r.impl = "skss_lb";
+    r.dtype = "f32";
+    r.n = n;
+    r.elems = n * n;
+    r.iterations = smoke ? 3 : 5;
+    r.wall_ms = satbench::time_best_ms(r.iterations, [&] {
+      (void)satmodel::run_cell(n, satalgo::Algorithm::kSkssLb, 64,
+                               /*materialize=*/false);
+    });
+    std::printf("  %-28s %10.3f ms  %9.1f Melem/s\n", r.name.c_str(),
+                r.wall_ms, r.melem_per_s());
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  satutil::ArgParser args("run_benches",
+                          "regenerate the BENCH_*.json perf ledger");
+  args.add("out-dir", ".", "directory to write BENCH_*.json into")
+      .add_flag("smoke", "small sizes only (CI smoke run)");
+  if (!args.parse(argc, argv)) return 1;
+  const bool smoke = args.get_flag("smoke");
+  const std::string dir = args.get("out-dir");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best-effort; fopen reports
+
+  std::printf("run_benches: git %s, simd backend %s, %s run\n",
+              satbench::git_rev(), satsimd::backend_name(),
+              smoke ? "smoke" : "full");
+
+  std::printf("host SAT implementations:\n");
+  const auto host = run_host_benches(smoke);
+  std::printf("simulator (count-only Table III cells):\n");
+  const auto sim = run_sim_benches(smoke);
+
+  const std::string host_path = dir + "/BENCH_host_sat.json";
+  const std::string sim_path = dir + "/BENCH_sim.json";
+  if (!satbench::write_json(host_path, host, satsimd::backend_name(), smoke) ||
+      !satbench::write_json(sim_path, sim, satsimd::backend_name(), smoke)) {
+    std::fprintf(stderr, "run_benches: failed to write JSON to %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::printf("wrote %s and %s\n", host_path.c_str(), sim_path.c_str());
+  return 0;
+}
