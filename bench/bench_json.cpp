@@ -1,8 +1,12 @@
 #include "bench_json.hpp"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <limits>
+#include <system_error>
 
 #ifndef SATLIB_GIT_REV
 #define SATLIB_GIT_REV "unknown"
@@ -38,11 +42,29 @@ const char* git_rev() { return SATLIB_GIT_REV; }
 
 bool write_json(const std::string& path, const std::vector<Record>& results,
                 const char* simd_backend, bool smoke) {
+  // A missing parent directory used to make fopen fail and the run vanish;
+  // create it, and name the path loudly if anything still goes wrong.
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      std::fprintf(stderr,
+                   "bench_json: cannot create directory '%s' for '%s': %s\n",
+                   parent.string().c_str(), path.c_str(),
+                   ec.message().c_str());
+      return false;
+    }
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) return false;
+  if (!f) {
+    std::fprintf(stderr, "bench_json: cannot open '%s' for writing: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"satlib-bench-v1\",\n"
+               "  \"schema\": \"satlib-bench-v2\",\n"
                "  \"git_rev\": \"%s\",\n"
                "  \"simd_backend\": \"%s\",\n"
                "  \"smoke\": %s,\n"
@@ -53,13 +75,20 @@ bool write_json(const std::string& path, const std::vector<Record>& results,
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"impl\": \"%s\", \"dtype\": \"%s\", "
                  "\"n\": %zu, \"iterations\": %d, \"wall_ms\": %.4f, "
-                 "\"melem_per_s\": %.2f, \"ns_per_elem\": %.4f}%s\n",
+                 "\"melem_per_s\": %.2f, \"ns_per_elem\": %.4f",
                  r.name.c_str(), r.impl.c_str(), r.dtype.c_str(), r.n,
-                 r.iterations, r.wall_ms, r.melem_per_s(), r.ns_per_elem(),
-                 k + 1 < results.size() ? "," : "");
+                 r.iterations, r.wall_ms, r.melem_per_s(), r.ns_per_elem());
+    if (!r.metrics_json.empty())
+      std::fprintf(f, ", \"metrics\": %s", r.metrics_json.c_str());
+    std::fprintf(f, "}%s\n", k + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
-  return std::fclose(f) == 0;
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "bench_json: error closing '%s': %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  return true;
 }
 
 }  // namespace satbench

@@ -2,15 +2,18 @@
 // root. Deliberately dependency-free (no google-benchmark, no json lib) so
 // tools/run_benches builds everywhere the library builds.
 //
-// Schema (one object per file):
+// Schema (one object per file; documented in docs/host_engine.md):
 //   {
-//     "schema": "satlib-bench-v1",
+//     "schema": "satlib-bench-v2",
 //     "git_rev": "<short sha or 'unknown'>",
 //     "simd_backend": "avx2" | "sse2" | "scalar",
 //     "smoke": true | false,
 //     "results": [ { "name", "impl", "dtype", "n", "iterations",
-//                    "wall_ms", "melem_per_s", "ns_per_elem" }, ... ]
+//                    "wall_ms", "melem_per_s", "ns_per_elem",
+//                    "metrics": {...}  (optional, v2) }, ... ]
 //   }
+// v2 adds the optional per-row "metrics" object: an obs::Snapshot::to_json()
+// of the run's metric registry, accumulated over all timed iterations.
 #pragma once
 
 #include <cstddef>
@@ -31,6 +34,9 @@ struct Record {
   std::size_t elems = 0;  ///< elements processed per run (n*n for SAT)
   int iterations = 0;   ///< timed repetitions (best-of)
   double wall_ms = 0.0;
+  /// Serialized obs::Snapshot::to_json() of the run's metrics registry,
+  /// covering every timed iteration. Empty ⇒ the "metrics" field is omitted.
+  std::string metrics_json;
   [[nodiscard]] double melem_per_s() const;
   [[nodiscard]] double ns_per_elem() const;
 };
@@ -51,7 +57,9 @@ double time_best_ms(int iterations, F&& fn) {
 /// (backend). Exposed for the file header and for run_benches logging.
 [[nodiscard]] const char* git_rev();
 
-/// Writes the ledger to `path` (overwriting). Returns false on I/O error.
+/// Writes the ledger to `path` (overwriting), creating missing parent
+/// directories first. On I/O failure prints a diagnostic naming the path to
+/// stderr and returns false — a run is never dropped silently.
 bool write_json(const std::string& path, const std::vector<Record>& results,
                 const char* simd_backend, bool smoke);
 

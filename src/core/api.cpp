@@ -31,6 +31,8 @@ Result<T> compute_on_simulated_gpu(const Matrix<T>& input,
 
   gpusim::SimContext sim(opts.device);
   sim.checker = opts.checker;
+  sim.metrics = opts.metrics;
+  sim.trace = opts.trace;
   gpusim::GlobalBuffer<T> a(sim, rows * cols, "input");
   gpusim::GlobalBuffer<T> b(sim, rows * cols, "sat");
   if (rows == input.rows() && cols == input.cols()) {
@@ -84,6 +86,7 @@ Result<T> compute_on_cpu(const Matrix<T>& input, const Options& opts) {
   Result<T> result;
   result.table = Matrix<T>(input.rows(), input.cols());
   sathost::ThreadPool pool(opts.cpu_threads);
+  pool.set_obs(opts.metrics, opts.trace);
   sathost::sat_parallel<T>(pool, input.view(), result.table.view());
   result.stats.algorithm = "cpu-parallel";
   return result;
@@ -124,6 +127,8 @@ BatchResult<T> compute_sat_batch(const std::vector<Matrix<T>>& inputs,
 
   gpusim::SimContext sim(opts.device);
   sim.checker = opts.checker;
+  sim.metrics = opts.metrics;
+  sim.trace = opts.trace;
   gpusim::GlobalBuffer<T> a(sim, batch * rows * cols, "batch.input");
   gpusim::GlobalBuffer<T> b(sim, batch * rows * cols, "batch.sat");
   if (sim.materialize) {
@@ -178,6 +183,8 @@ std::vector<T> inclusive_scan(const std::vector<T>& values,
   if (values.empty()) return {};
   gpusim::SimContext sim(opts.device);
   sim.checker = opts.checker;
+  sim.metrics = opts.metrics;
+  sim.trace = opts.trace;
   gpusim::GlobalBuffer<T> src(sim, values.size(), "scan.src");
   gpusim::GlobalBuffer<T> dst(sim, values.size(), "scan.dst");
   src.upload(values);

@@ -20,6 +20,11 @@
 #include "sat/params.hpp"
 #include "sat/registry.hpp"
 
+namespace obs {
+class Registry;
+class TraceSink;
+}  // namespace obs
+
 namespace sat {
 
 enum class Backend {
@@ -53,6 +58,15 @@ struct Options {
   /// Fault injection for checker tests (forwarded to SatParams).
   satalgo::FaultInjection inject = satalgo::FaultInjection::kNone;
   std::size_t inject_serial = 0;
+
+  /// Optional observability (see docs/observability.md; neither owned).
+  /// `metrics` receives the run's metric set — sim.* from the simulated-GPU
+  /// backend, host.* from the CPU backend; `trace` receives Chrome
+  /// trace_events spans (block lifetimes, look-backs, flag waits, host pool
+  /// chunks). Null ⇒ zero instrumentation cost beyond a pointer test per
+  /// coarse event.
+  obs::Registry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Run statistics (simulated-GPU backend; zeros for the CPU backend except

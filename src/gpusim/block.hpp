@@ -17,9 +17,24 @@
 #include "gpusim/flags.hpp"
 #include "gpusim/protocol_checker.hpp"
 #include "gpusim/task.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace gpusim {
+
+/// Per-launch observability bundle (see src/obs/): metric handles resolved
+/// once by launch_kernel plus the trace sink and this launch's trace
+/// process id. Blocks hold a pointer to it that is null when observability
+/// is off, so each hook costs one branch; events are per coarse action
+/// (walk, wait, block), never per memory access.
+struct LaunchObs {
+  obs::Histogram* lookback_depth = nullptr;  ///< sim.lookback_depth
+  obs::Histogram* flag_wait_us = nullptr;    ///< sim.flag_wait_us
+  obs::Counter* flag_spins = nullptr;        ///< sim.flag_spins
+  obs::TraceSink* trace = nullptr;
+  int trace_pid = 0;
+};
 
 /// Scheduler hook invoked when a block publishes a status flag, so parked
 /// waiters can be woken with the publisher's timestamp (discrete-event
@@ -246,6 +261,7 @@ class BlockCtx {
       // The publish lies in this block's future: it was spinning on the
       // cell and resumes one poll round-trip after the publish lands.
       const double resume = c.publish_us + cost_->us_wait_discovery;
+      record_wait_obs(arr, idx, clock_us_, resume);
       wait_us_ += resume - clock_us_;
       clock_us_ = resume;
     }
@@ -255,9 +271,31 @@ class BlockCtx {
     return c.value;
   }
 
-  /// Records the length of one look-back walk (for the ablation reports).
+  /// Marks the start of a look-back walk; the matching note_lookback_depth
+  /// call closes it. Only used for the obs trace span — safe to omit (the
+  /// depth histogram and max still record).
+  void lookback_begin() {
+#if SATLIB_OBS_ENABLED
+    if (obs_ != nullptr) lb_start_us_ = clock_us_;
+#endif
+  }
+
+  /// Records the length of one look-back walk (for the ablation reports and
+  /// the sim.lookback_depth histogram).
   void note_lookback_depth(std::size_t depth) {
     if (depth > max_lookback_depth_) max_lookback_depth_ = depth;
+#if SATLIB_OBS_ENABLED
+    if (obs_ != nullptr) {
+      if (obs_->lookback_depth != nullptr) obs_->lookback_depth->record(depth);
+      if (obs_->trace != nullptr && lb_start_us_ >= 0.0) {
+        obs_->trace->complete(
+            obs_->trace_pid, trace_tid_, "lookback", "lookback", lb_start_us_,
+            clock_us_ - lb_start_us_,
+            "{\"depth\":" + std::to_string(depth) + "}");
+      }
+      lb_start_us_ = -1.0;
+    }
+#endif
   }
 
   // --- Scheduler interface ----------------------------------------------------
@@ -269,10 +307,13 @@ class BlockCtx {
   [[nodiscard]] const StatusArray* wait_array() const { return wait_arr_; }
 
   /// Called by the scheduler when waking a parked block: the spinning loop
-  /// discovers the publish one poll round-trip after it lands.
+  /// discovers the publish one poll round-trip after it lands. Must run
+  /// before clear_wait() so the wait span can name the status array.
   void wake_at(double publish_us) {
     const double resume = publish_us + cost_->us_wait_discovery;
     if (resume > clock_us_) {
+      if (wait_arr_ != nullptr)
+        record_wait_obs(*wait_arr_, wait_idx_, clock_us_, resume);
       wait_us_ += resume - clock_us_;
       clock_us_ = resume;
     }
@@ -280,7 +321,21 @@ class BlockCtx {
 
   [[nodiscard]] std::size_t wait_index() const { return wait_idx_; }
   void clear_wait() { wait_arr_ = nullptr; }
-  void count_spin() { counters_->flag_polls += 1; }
+  void count_spin() {
+    counters_->flag_polls += 1;
+#if SATLIB_OBS_ENABLED
+    if (obs_ != nullptr && obs_->flag_spins != nullptr)
+      obs_->flag_spins->add();
+#endif
+  }
+
+  // --- Observability (no-ops when no LaunchObs is attached) -------------------
+
+  void set_obs(const LaunchObs* o, std::uint64_t trace_tid) {
+    obs_ = o;
+    trace_tid_ = trace_tid;
+  }
+  [[nodiscard]] std::uint64_t trace_tid() const { return trace_tid_; }
   [[nodiscard]] std::string describe_wait() const {
     if (wait_arr_ == nullptr) return "not waiting";
     return "block " + std::to_string(block_id_) + " waits for '" +
@@ -293,6 +348,30 @@ class BlockCtx {
   [[nodiscard]] const SimCostParams& cost() const { return *cost_; }
 
  private:
+  /// One soft-sync wait ended: the block stalled on `arr[idx]` from
+  /// `from_us` until `to_us`. Feeds the sim.flag_wait_us histogram (µs,
+  /// rounded) and the "wait" trace spans.
+  void record_wait_obs(const StatusArray& arr, std::size_t idx, double from_us,
+                       double to_us) {
+#if SATLIB_OBS_ENABLED
+    if (obs_ == nullptr) return;
+    if (obs_->flag_wait_us != nullptr) {
+      obs_->flag_wait_us->record(
+          static_cast<std::uint64_t>(to_us - from_us + 0.5));
+    }
+    if (obs_->trace != nullptr) {
+      obs_->trace->complete(obs_->trace_pid, trace_tid_, arr.name(), "wait",
+                            from_us, to_us - from_us,
+                            "{\"cell\":" + std::to_string(idx) + "}");
+    }
+#else
+    (void)arr;
+    (void)idx;
+    (void)from_us;
+    (void)to_us;
+#endif
+  }
+
   // Issued transactions that DRAM serves pay the DRAM-share cost; the
   // remainder (re-touched sectors of strided walks) hit in L2 and pay the
   // cheaper L2-share cost.
@@ -328,6 +407,13 @@ class BlockCtx {
 
   FlagPublishHook* publish_hook_ = nullptr;
   ProtocolChecker* checker_ = nullptr;
+
+  // Observability: null when off. trace_tid_ is the residency slot, so
+  // trace rows render as SM-slot Gantt lanes; lb_start_us_ carries the open
+  // look-back span's start (< 0 when no walk is open).
+  const LaunchObs* obs_ = nullptr;
+  std::uint64_t trace_tid_ = 0;
+  double lb_start_us_ = -1.0;
 
   // Active wait target (nullptr when runnable).
   StatusArray* wait_arr_ = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <numeric>
 #include <optional>
@@ -13,6 +14,8 @@
 
 #include "gpusim/errors.hpp"
 #include "gpusim/protocol_checker.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -81,9 +84,14 @@ struct ResidentBlock {
 class Scheduler final : public FlagPublishHook {
  public:
   Scheduler(SimContext& sim, const LaunchConfig& cfg, const KernelBody& body,
-            KernelReport& report, const SimCostParams& cost)
+            KernelReport& report, const SimCostParams& cost,
+            const LaunchObs& obs, obs::Histogram* sched_occupancy,
+            obs::Counter* blocks_retired)
       : sim_(sim), cfg_(cfg), body_(body), report_(report), cost_(cost),
-        order_(admission_order(cfg)) {}
+        order_(admission_order(cfg)), obs_(obs),
+        obs_on_(obs.lookback_depth != nullptr || obs.flag_wait_us != nullptr ||
+                obs.flag_spins != nullptr || obs.trace != nullptr),
+        sched_occupancy_(sched_occupancy), blocks_retired_(blocks_retired) {}
 
   void run() {
     // Slots are recycled as blocks retire, so the roster never outgrows the
@@ -131,11 +139,13 @@ class Scheduler final : public FlagPublishHook {
     for (std::size_t k = 0; k < list.size(); ++k) {
       ResidentBlock& w = *blocks_[list[k]];
       if (w.ctx->wait_satisfied()) {
+        // The waiter resumes one poll round-trip after the publish
+        // (wake_at also closes the wait's obs span, so it runs while the
+        // wait target is still attached).
+        w.ctx->wake_at(arr.cell(idx).publish_us);
         w.ctx->clear_wait();
         w.parked = false;
         --parked_count_;
-        // The waiter resumes one poll round-trip after the publish.
-        w.ctx->wake_at(arr.cell(idx).publish_us);
         run_heap_.emplace(w.ctx->now_us(), list[k]);
       } else {
         list[kept++] = list[k];
@@ -161,6 +171,7 @@ class Scheduler final : public FlagPublishHook {
                     start_us);
     rec.ctx->set_publish_hook(this);
     rec.ctx->set_checker(sim_.checker);
+    if (obs_on_) rec.ctx->set_obs(&obs_, slot);
     rec.logical_block = logical;
     rec.parked = false;
     rec.done = false;
@@ -169,6 +180,7 @@ class Scheduler final : public FlagPublishHook {
                   "kernel '" << cfg_.name << "' body returned invalid task");
     run_heap_.emplace(start_us, slot);
     ++live_count_;
+    if (sched_occupancy_ != nullptr) sched_occupancy_->record(live_count_);
   }
 
   /// Resumes block `bi` once. Returns true iff the block is still runnable
@@ -198,6 +210,21 @@ class Scheduler final : public FlagPublishHook {
       if (cfg_.record_trace) {
         report_.trace.push_back(BlockTraceEntry{
             r.logical_block, r.ctx->start_us(), end_us, r.ctx->wait_us()});
+      }
+      if (blocks_retired_ != nullptr) blocks_retired_->add();
+      if (sched_occupancy_ != nullptr)
+        sched_occupancy_->record(live_count_);
+      if (obs_.trace != nullptr) {
+        // One span per block on its residency-slot lane: the Gantt view of
+        // the look-back waves. Wait and look-back spans nest inside it.
+        char args[96];
+        std::snprintf(args, sizeof args,
+                      "{\"logical\":%zu,\"wait_us\":%.3f}", r.logical_block,
+                      r.ctx->wait_us());
+        obs_.trace->complete(obs_.trace_pid, bi,
+                             "block " + std::to_string(r.logical_block),
+                             "block", r.ctx->start_us(),
+                             end_us - r.ctx->start_us(), args);
       }
       // Release the frame and context (its frame returns to the pool),
       // recycle the slot, then hand it to the next pending block. Order
@@ -251,6 +278,10 @@ class Scheduler final : public FlagPublishHook {
   KernelReport& report_;
   const SimCostParams& cost_;
   const std::vector<std::size_t> order_;
+  const LaunchObs obs_;
+  const bool obs_on_;
+  obs::Histogram* sched_occupancy_;
+  obs::Counter* blocks_retired_;
   std::size_t next_pending_ = 0;
 
   std::vector<std::unique_ptr<ResidentBlock>> blocks_;
@@ -323,10 +354,50 @@ KernelReport launch_kernel(SimContext& sim, const LaunchConfig& cfg,
   if (sim.checker != nullptr)
     sim.checker->on_kernel_begin(cfg.name, cfg.grid_blocks, resident_limit);
 
-  Scheduler scheduler(sim, cfg, body, report, cost);
+  // Resolve observability handles once per launch (the only name lookups);
+  // blocks then publish through raw pointers.
+  LaunchObs obs;
+  obs::Histogram* sched_occupancy = nullptr;
+  obs::Counter* blocks_retired = nullptr;
+#if SATLIB_OBS_ENABLED
+  if (sim.metrics != nullptr) {
+    obs.lookback_depth = &sim.metrics->histogram("sim.lookback_depth");
+    obs.flag_wait_us = &sim.metrics->histogram("sim.flag_wait_us");
+    obs.flag_spins = &sim.metrics->counter("sim.flag_spins");
+    sched_occupancy = &sim.metrics->histogram("sim.sched_occupancy");
+    blocks_retired = &sim.metrics->counter("sim.blocks_retired");
+  }
+  if (sim.trace != nullptr) {
+    obs.trace = sim.trace;
+    obs.trace_pid = sim.trace->register_process(cfg.name);
+  }
+#endif
+
+  Scheduler scheduler(sim, cfg, body, report, cost, obs, sched_occupancy,
+                      blocks_retired);
   scheduler.run();
 
   if (sim.checker != nullptr) sim.checker->on_kernel_end();
+
+#if SATLIB_OBS_ENABLED
+  if (sim.metrics != nullptr) {
+    sim.metrics->counter("sim.kernel_launches").add();
+    // Coalescing efficiency: useful payload bytes over issued sector bytes.
+    // 100 % means every 32 B transaction was fully used (the paper's
+    // coalesced accesses); a strided walk of f32 scores 12.5 %.
+    const Counters& c = report.counters;
+    auto pct = [&](std::uint64_t bytes, std::uint64_t sectors) {
+      return sectors == 0 ? 100.0
+                          : 100.0 * static_cast<double>(bytes) /
+                                (static_cast<double>(sectors) *
+                                 static_cast<double>(sim.device.sector_bytes));
+    };
+    sim.metrics->gauge("sim.read_coalescing_pct")
+        .set(pct(c.global_bytes_read, c.global_read_sectors));
+    sim.metrics->gauge("sim.write_coalescing_pct")
+        .set(pct(c.global_bytes_written, c.global_write_sectors));
+  }
+#endif
 
   sim.reports.push_back(report);
   return report;

@@ -11,6 +11,11 @@
 #include "gpusim/device.hpp"
 #include "gpusim/errors.hpp"
 
+namespace obs {
+class Registry;
+class TraceSink;
+}  // namespace obs
+
 namespace gpusim {
 
 class ProtocolChecker;
@@ -38,6 +43,16 @@ class SimContext {
   /// verified for races, deadlock freedom and state-machine conformance.
   /// Not owned; must outlive the launches it observes.
   ProtocolChecker* checker = nullptr;
+
+  /// Opt-in observability (see src/obs/ and docs/observability.md). When
+  /// `metrics` is non-null every launch publishes the sim.* metric set
+  /// (look-back depth / flag-wait histograms, scheduler occupancy,
+  /// coalescing efficiency); when `trace` is non-null every launch records
+  /// block-lifetime, look-back and flag-wait spans in Chrome trace_events
+  /// form. Both null by default — the off cost is one pointer test per
+  /// coarse event, never per memory access. Not owned.
+  obs::Registry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
 
   /// Called by GlobalBuffer; enforces the device's global-memory capacity
   /// (the paper's 12 GiB limit is what capped its evaluation at 32K×32K).

@@ -19,6 +19,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "util/simd.hpp"
 #include "util/span2d.hpp"
 
@@ -165,10 +166,13 @@ T simd_row_scan_acc(const T* src, T* acc, T* dst, std::size_t n,
 /// once and stored exactly once, with no read-for-ownership on dst. `tile`
 /// splits each row into column chunks (the tile width of §III's
 /// decomposition); results are identical for every tile value. `src` and
-/// `dst` must have identical shape and must not alias.
+/// `dst` must have identical shape and must not alias. When `reg` is
+/// non-null the sweep publishes host.simd.elements and the analytically
+/// derived host.simd.lane_utilization_pct (share of elements processed in
+/// full vectors vs. head-peel/tail scalar iterations).
 template <class T>
 void sat_simd(satutil::Span2d<const T> src, satutil::Span2d<T> dst,
-              std::size_t tile = 4096) {
+              std::size_t tile = 4096, obs::Registry* reg = nullptr) {
   SAT_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
   SAT_CHECK(tile > 0);
   const std::size_t rows = src.rows();
@@ -179,6 +183,7 @@ void sat_simd(satutil::Span2d<const T> src, satutil::Span2d<T> dst,
       satsimd::Vec<T>::width * sizeof(T);
   const bool allow_stream = rows * cols * sizeof(T) >= kStreamMinBytes;
   std::vector<T> acc(cols, T{});
+  std::size_t vec_elems = 0;
   for (std::size_t i = 0; i < rows; ++i) {
     T carry{};
     // Scalar-peel the row head so the first chunk (and, when `tile` is a
@@ -195,11 +200,21 @@ void sat_simd(satutil::Span2d<const T> src, satutil::Span2d<T> dst,
     }
     for (std::size_t bj = j0; bj < cols; bj += tile) {
       const std::size_t nc = std::min(tile, cols - bj);
+      vec_elems += nc - nc % satsimd::Vec<T>::width;
       carry = simd_row_scan_acc(&src(i, bj), acc.data() + bj, &dst(i, bj), nc,
                                 carry, allow_stream);
     }
   }
   satsimd::store_fence();
+#if SATLIB_OBS_ENABLED
+  if (reg != nullptr) {
+    const std::size_t total = rows * cols;
+    reg->counter("host.simd.elements").add(total);
+    reg->gauge("host.simd.lane_utilization_pct")
+        .set(100.0 * static_cast<double>(vec_elems) /
+             static_cast<double>(total));
+  }
+#endif
 }
 
 }  // namespace sathost

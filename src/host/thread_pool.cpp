@@ -1,6 +1,11 @@
 #include "host/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace sathost {
 
@@ -8,11 +13,53 @@ ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
     workers = std::max(1u, std::thread::hardware_concurrency());
   }
-  // The calling thread participates in parallel_for, so spawn workers−1.
+  // The calling thread participates in parallel_for, so spawn workers−1;
+  // worker i gets trace lane i+1 (the caller is lane 0).
   threads_.reserve(workers - 1);
   for (std::size_t i = 0; i + 1 < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i + 1); });
   }
+}
+
+void ThreadPool::set_obs(obs::Registry* reg, obs::TraceSink* trace) {
+#if SATLIB_OBS_ENABLED
+  obs_chunks_ = reg != nullptr ? &reg->counter("host.pool.chunks") : nullptr;
+  obs_chunk_us_ =
+      reg != nullptr ? &reg->histogram("host.pool.chunk_us") : nullptr;
+  trace_ = trace;
+  trace_pid_ =
+      trace != nullptr ? trace->register_process("host thread pool") : 0;
+#else
+  (void)reg;
+  (void)trace;
+#endif
+}
+
+void ThreadPool::run_chunk(std::size_t chunk,
+                           const std::function<void(std::size_t)>& fn,
+                           std::uint64_t tid) {
+#if SATLIB_OBS_ENABLED
+  if (obs_chunks_ != nullptr || trace_ != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const double ts = trace_ != nullptr ? trace_->now_host_us() : 0.0;
+    fn(chunk);
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (obs_chunks_ != nullptr) {
+      obs_chunks_->add();
+      obs_chunk_us_->record(static_cast<std::uint64_t>(us + 0.5));
+    }
+    if (trace_ != nullptr) {
+      char args[48];
+      std::snprintf(args, sizeof args, "{\"chunk\":%zu}", chunk);
+      trace_->complete(trace_pid_, tid, "chunk", "host", ts, us, args);
+    }
+    return;
+  }
+#endif
+  (void)tid;
+  fn(chunk);
 }
 
 ThreadPool::~ThreadPool() {
@@ -46,7 +93,7 @@ void ThreadPool::parallel_for(std::size_t chunks,
       chunk = next_chunk_++;
       ++in_flight_;
     }
-    fn(chunk);
+    run_chunk(chunk, fn, 0);
     {
       std::lock_guard lock(mu_);
       --in_flight_;
@@ -58,7 +105,7 @@ void ThreadPool::parallel_for(std::size_t chunks,
   fn_ = nullptr;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::uint64_t worker_index) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     std::size_t chunk;
@@ -78,7 +125,7 @@ void ThreadPool::worker_loop() {
       ++in_flight_;
       fn = fn_;
     }
-    (*fn)(chunk);
+    run_chunk(chunk, *fn, worker_index);
     {
       std::lock_guard lock(mu_);
       --in_flight_;

@@ -5,10 +5,18 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+namespace obs {
+class Counter;
+class Histogram;
+class Registry;
+class TraceSink;
+}  // namespace obs
 
 namespace sathost {
 
@@ -29,8 +37,17 @@ class ThreadPool {
   void parallel_for(std::size_t chunks,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Opt-in observability: when `reg` is non-null every chunk bumps
+  /// host.pool.chunks and records its wall time in host.pool.chunk_us;
+  /// when `trace` is non-null each chunk emits one span (tid = worker
+  /// index, the calling thread is tid 0). Either may be null. Call while
+  /// no batch is running; pointers are not owned and must outlive use.
+  void set_obs(obs::Registry* reg, obs::TraceSink* trace);
+
  private:
-  void worker_loop();
+  void worker_loop(std::uint64_t worker_index);
+  void run_chunk(std::size_t chunk, const std::function<void(std::size_t)>& fn,
+                 std::uint64_t tid);
 
   std::vector<std::thread> threads_;
   std::mutex mu_;
@@ -43,6 +60,11 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+
+  obs::Counter* obs_chunks_ = nullptr;
+  obs::Histogram* obs_chunk_us_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  int trace_pid_ = 0;
 };
 
 }  // namespace sathost

@@ -12,6 +12,11 @@
 #include "model/predict.hpp"
 #include "sat/registry.hpp"
 
+namespace obs {
+class Registry;
+class TraceSink;
+}  // namespace obs
+
 namespace satmodel {
 
 struct CellResult {
@@ -32,9 +37,13 @@ struct CellResult {
 /// is how the 16K²/32K² cells run on a small host.
 inline CellResult run_cell(std::size_t n, satalgo::Algorithm algo,
                            std::size_t tile_w, bool materialize,
-                           std::uint64_t seed = 1) {
+                           std::uint64_t seed = 1,
+                           obs::Registry* metrics = nullptr,
+                           obs::TraceSink* trace = nullptr) {
   gpusim::SimContext sim;
   sim.materialize = materialize;
+  sim.metrics = metrics;
+  sim.trace = trace;
   gpusim::GlobalBuffer<float> a(sim, n * n, "input");
   gpusim::GlobalBuffer<float> b(sim, n * n, "sat");
 

@@ -1,0 +1,115 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace obs {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_ts(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  return buf;
+}
+
+}  // namespace
+
+TraceSink::TraceSink() : t0_(std::chrono::steady_clock::now()) {}
+
+int TraceSink::register_process(std::string_view name) {
+  std::lock_guard lock(mu_);
+  const int pid = next_pid_++;
+  events_.push_back(Event{'M', pid, 0, 0.0, 0.0, "process_name", "__metadata",
+                          "{\"name\":\"" + json_escape(name) + "\"}"});
+  return pid;
+}
+
+void TraceSink::complete(int pid, std::uint64_t tid, std::string_view name,
+                         std::string_view cat, double ts_us, double dur_us,
+                         std::string args_json) {
+  std::lock_guard lock(mu_);
+  events_.push_back(Event{'X', pid, tid, ts_us, dur_us, std::string(name),
+                          std::string(cat), std::move(args_json)});
+}
+
+void TraceSink::instant(int pid, std::uint64_t tid, std::string_view name,
+                        std::string_view cat, double ts_us,
+                        std::string args_json) {
+  std::lock_guard lock(mu_);
+  events_.push_back(Event{'i', pid, tid, ts_us, 0.0, std::string(name),
+                          std::string(cat), std::move(args_json)});
+}
+
+double TraceSink::now_host_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+std::size_t TraceSink::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+void TraceSink::write(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"" << e.ph
+       << "\",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+    if (e.ph == 'X' || e.ph == 'i') {
+      os << ",\"cat\":\"" << json_escape(e.cat)
+         << "\",\"ts\":" << format_ts(e.ts_us);
+      if (e.ph == 'X') os << ",\"dur\":" << format_ts(e.dur_us);
+      if (e.ph == 'i') os << ",\"s\":\"t\"";
+    }
+    if (!e.args_json.empty()) os << ",\"args\":" << e.args_json;
+    os << '}' << (i + 1 < events_.size() ? "," : "") << '\n';
+  }
+  os << "]}\n";
+}
+
+bool TraceSink::write_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "obs: cannot open trace output '%s' for writing\n",
+                 path.c_str());
+    return false;
+  }
+  write(os);
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "obs: I/O error writing trace to '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs

@@ -109,6 +109,7 @@ RunResult run_skss_lb(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
     // Step 2.A.2: look back leftwards for GRS(I,J−1) (Figure 10).
     std::vector<T> grs_left(mat ? w : 0, T{});
     if (tj > 0) {
+      ctx.lookback_begin();
       std::size_t depth = 0;
       for (std::size_t back = tj; back-- > 0;) {
         const std::size_t pred = grid.idx(ti, back);
@@ -136,6 +137,7 @@ RunResult run_skss_lb(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
     // Steps 2.B.2 / 2.B.3: the same look-back upwards for GCS(I−1,J).
     std::vector<T> gcs_up(mat ? w : 0, T{});
     if (ti > 0) {
+      ctx.lookback_begin();
       std::size_t depth = 0;
       for (std::size_t back = ti; back-- > 0;) {
         const std::size_t pred = grid.idx(back, tj);
@@ -167,6 +169,7 @@ RunResult run_skss_lb(gpusim::SimContext& sim, gpusim::GlobalBuffer<T>& a,
     // the walk terminates at k = min(I,J) even if no GS is published yet.
     T gs_corner{};
     if (ti > 0 && tj > 0) {
+      ctx.lookback_begin();
       const std::size_t kmax = std::min(ti, tj);
       std::size_t depth = 0;
       for (std::size_t k = 1; k <= kmax; ++k) {

@@ -101,6 +101,7 @@ gpusim::KernelReport col_wise_inclusive_scan(gpusim::SimContext& sim,
     ctx.flag_publish(status, block, kAggregateReady);
 
     // Look back up the column group for the exclusive offsets.
+    ctx.lookback_begin();
     std::size_t depth = 0;
     std::vector<T> offset(mat ? ncols : 0, T{});
     for (std::size_t back = strip; back > 0; --back) {

@@ -106,6 +106,7 @@ gpusim::KernelReport row_wise_inclusive_scan(gpusim::SimContext& sim,
     ctx.flag_publish(status, block, kAggregateReady);
 
     // Decoupled look-back for the exclusive prefix of this chunk.
+    ctx.lookback_begin();
     T prefix{};
     std::size_t depth = 0;
     for (std::size_t back = ci; back > 0; --back) {

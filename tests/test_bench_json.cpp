@@ -1,0 +1,89 @@
+// Tests for bench/bench_json.hpp: derived-rate math, the v2 "metrics"
+// field, and the write path — which must create missing parent directories
+// and fail loudly (never silently drop a run) when the path is unusable.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is) << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+satbench::Record sample_record() {
+  satbench::Record r;
+  r.name = "host_sat/simd/1024";
+  r.impl = "simd";
+  r.dtype = "f32";
+  r.n = 1024;
+  r.elems = 1024 * 1024;
+  r.iterations = 3;
+  r.wall_ms = 2.0;
+  return r;
+}
+
+TEST(Record, DerivedRates) {
+  const satbench::Record r = sample_record();
+  // 1 Mi elements in 2 ms = 2^20 / 2000 µs elements per µs.
+  EXPECT_NEAR(r.melem_per_s(), 1024.0 * 1024.0 / 2000.0, 1e-9);
+  EXPECT_NEAR(r.ns_per_elem(), 2e6 / (1024.0 * 1024.0), 1e-9);
+  satbench::Record zero;
+  EXPECT_EQ(zero.melem_per_s(), 0.0);
+  EXPECT_EQ(zero.ns_per_elem(), 0.0);
+}
+
+TEST(WriteJson, CreatesMissingParentDirectories) {
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "bench_json_test" / "deep" / "nested";
+  fs::remove_all(fs::path(testing::TempDir()) / "bench_json_test");
+  const std::string path = (dir / "BENCH_x.json").string();
+  ASSERT_FALSE(fs::exists(dir));
+
+  ASSERT_TRUE(satbench::write_json(path, {sample_record()}, "scalar",
+                                   /*smoke=*/true));
+  ASSERT_TRUE(fs::exists(path));
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"schema\": \"satlib-bench-v2\""), std::string::npos);
+  EXPECT_NE(text.find("\"host_sat/simd/1024\""), std::string::npos);
+  // No metrics were attached, so the field is omitted entirely.
+  EXPECT_EQ(text.find("\"metrics\""), std::string::npos);
+}
+
+TEST(WriteJson, EmbedsMetricsObjectWhenPresent) {
+  const std::string path =
+      (fs::path(testing::TempDir()) / "BENCH_metrics.json").string();
+  satbench::Record r = sample_record();
+  r.metrics_json = "{\"counters\":{\"host.pool.chunks\":12}}";
+  ASSERT_TRUE(satbench::write_json(path, {r}, "avx2", /*smoke=*/false));
+  const std::string text = slurp(path);
+  EXPECT_NE(
+      text.find("\"metrics\": {\"counters\":{\"host.pool.chunks\":12}}"),
+      std::string::npos)
+      << text;
+}
+
+TEST(WriteJson, FailsLoudlyWhenParentIsAFile) {
+  // A regular file where a directory is needed: create_directories cannot
+  // succeed, and write_json must report failure instead of dropping the run.
+  const fs::path blocker = fs::path(testing::TempDir()) / "bench_blocker";
+  { std::ofstream(blocker.string()) << "x"; }
+  const std::string path = (blocker / "sub" / "BENCH_x.json").string();
+  EXPECT_FALSE(
+      satbench::write_json(path, {sample_record()}, "scalar", true));
+  fs::remove(blocker);
+}
+
+}  // namespace

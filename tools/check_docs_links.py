@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker (stdlib only; CI `docs-check` job).
+
+Scans the repo's markdown (README.md, DESIGN.md, EXPERIMENTS.md, docs/,
+and any other tracked *.md at the top level) for inline links and
+validates every *intra-repo* target:
+
+  * relative file links must point at an existing file;
+  * `#fragment` parts (own-page or cross-page) must match a heading
+    anchor, computed the GitHub way (lowercase, strip punctuation,
+    spaces to dashes);
+  * every docs/*.md file must be reachable from README.md's link graph.
+
+External links (http/https/mailto) are not fetched — CI must not depend
+on the network. Exit status is the number of broken links.
+
+Usage: tools/check_docs_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+IMAGE_LINK = re.compile(r"\!\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(?P<title>.+?)\s*$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(title: str) -> str:
+    """GitHub's heading-to-anchor rule: lowercase, drop everything but
+    word characters, spaces and dashes, then spaces to dashes."""
+    # Inline code/links inside headings contribute their text only.
+    title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)
+    title = title.replace("`", "")
+    title = title.strip().lower()
+    title = re.sub(r"[^\w\- ]", "", title, flags=re.UNICODE)
+    return title.replace(" ", "-")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def collect_anchors(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING.match(line)
+        if not m:
+            continue
+        a = github_anchor(m.group("title"))
+        n = seen.get(a, 0)
+        seen[a] = n + 1
+        anchors.add(a if n == 0 else f"{a}-{n}")
+    return anchors
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for rx in (INLINE_LINK, IMAGE_LINK):
+            for m in rx.finditer(line):
+                yield lineno, m.group("target")
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    files = markdown_files(root)
+    if not files:
+        print(f"check_docs_links: no markdown under {root}", file=sys.stderr)
+        return 1
+
+    anchors = {f: collect_anchors(f) for f in files}
+    errors: list[str] = []
+    linked: set[Path] = set()
+
+    for f in files:
+        for lineno, target in iter_links(f):
+            where = f"{f.relative_to(root)}:{lineno}"
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue  # external: presence-only policy, never fetched
+            if target.startswith("#"):
+                if target[1:] not in anchors[f]:
+                    errors.append(f"{where}: no heading for '{target}'")
+                continue
+            path_part, _, frag = target.partition("#")
+            dest = (f.parent / path_part).resolve()
+            if not dest.exists():
+                errors.append(f"{where}: missing file '{path_part}'")
+                continue
+            if dest.suffix == ".md" and dest in anchors:
+                linked.add(dest)
+                if frag and frag not in anchors[dest]:
+                    errors.append(
+                        f"{where}: no heading '#{frag}' in '{path_part}'"
+                    )
+
+    # Reachability: every docs/*.md must be linked from the README graph.
+    readme = root / "README.md"
+    if readme.exists():
+        reachable: set[Path] = set()
+        frontier = [readme]
+        while frontier:
+            f = frontier.pop()
+            if f in reachable or f not in anchors:
+                continue
+            reachable.add(f)
+            for _, target in iter_links(f):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                dest = (f.parent / target.partition("#")[0]).resolve()
+                if dest.suffix == ".md" and dest.exists():
+                    frontier.append(dest)
+        for f in files:
+            if f.parent == root / "docs" and f not in reachable:
+                errors.append(
+                    f"{f.relative_to(root)}: not reachable from README.md"
+                )
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    n_links = sum(1 for f in files for _ in iter_links(f))
+    print(
+        f"check_docs_links: {len(files)} files, {n_links} links, "
+        f"{len(errors)} broken"
+    )
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

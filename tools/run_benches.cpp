@@ -15,6 +15,7 @@
 
 #include "bench_json.hpp"
 #include "core/matrix.hpp"
+#include "obs/registry.hpp"
 #include "host/sat_cpu.hpp"
 #include "host/sat_parallel.hpp"
 #include "host/sat_simd.hpp"
@@ -35,8 +36,8 @@ int iterations_for(std::size_t n, bool smoke) {
 }
 
 template <class Fn>
-Record time_host(const std::string& impl, std::size_t n, bool smoke,
-                 Fn&& fn) {
+Record time_host(const std::string& impl, std::size_t n, bool smoke, Fn&& fn,
+                 obs::Registry* reg = nullptr) {
   Record r;
   r.name = "host_sat/" + impl + "/" + std::to_string(n);
   r.impl = impl;
@@ -45,6 +46,7 @@ Record time_host(const std::string& impl, std::size_t n, bool smoke,
   r.elems = n * n;
   r.iterations = iterations_for(n, smoke);
   r.wall_ms = satbench::time_best_ms(r.iterations, fn);
+  if (reg != nullptr) r.metrics_json = reg->snapshot().to_json();
   std::printf("  %-28s %10.3f ms  %9.1f Melem/s\n", r.name.c_str(), r.wall_ms,
               r.melem_per_s());
   return r;
@@ -75,15 +77,30 @@ std::vector<Record> run_host_benches(bool smoke) {
     out.push_back(time_host("blocked", n, smoke, [&] {
       sathost::sat_blocked<float>(src, dst, 64);
     }));
-    out.push_back(time_host("simd", n, smoke, [&] {
-      sathost::sat_simd<float>(src, dst);
-    }));
-    out.push_back(time_host("parallel", n, smoke, [&] {
-      sathost::sat_parallel<float>(pool, src, dst);
-    }));
-    out.push_back(time_host("wavefront", n, smoke, [&] {
-      sathost::sat_wavefront<float>(pool, src, dst, 128);
-    }));
+    {
+      // Instrumented rows: the ledger carries each run's metrics snapshot
+      // (accumulated over all timed iterations) next to its timing.
+      obs::Registry reg;
+      out.push_back(time_host(
+          "simd", n, smoke,
+          [&] { sathost::sat_simd<float>(src, dst, 4096, &reg); }, &reg));
+    }
+    {
+      obs::Registry reg;
+      pool.set_obs(&reg, nullptr);
+      out.push_back(time_host(
+          "parallel", n, smoke,
+          [&] { sathost::sat_parallel<float>(pool, src, dst); }, &reg));
+      pool.set_obs(nullptr, nullptr);
+    }
+    {
+      obs::Registry reg;
+      pool.set_obs(&reg, nullptr);
+      out.push_back(time_host(
+          "wavefront", n, smoke,
+          [&] { sathost::sat_wavefront<float>(pool, src, dst, 128); }, &reg));
+      pool.set_obs(nullptr, nullptr);
+    }
   }
   return out;
 }
@@ -103,10 +120,12 @@ std::vector<Record> run_sim_benches(bool smoke) {
     r.n = n;
     r.elems = n * n;
     r.iterations = smoke ? 3 : 5;
+    obs::Registry reg;
     r.wall_ms = satbench::time_best_ms(r.iterations, [&] {
       (void)satmodel::run_cell(n, satalgo::Algorithm::kSkssLb, 64,
-                               /*materialize=*/false);
+                               /*materialize=*/false, /*seed=*/1, &reg);
     });
+    r.metrics_json = reg.snapshot().to_json();
     std::printf("  %-28s %10.3f ms  %9.1f Melem/s\n", r.name.c_str(),
                 r.wall_ms, r.melem_per_s());
     out.push_back(r);

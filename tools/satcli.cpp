@@ -21,10 +21,54 @@
 
 #include "core/api.hpp"
 #include "model/table3.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/argparse.hpp"
 #include "util/format.hpp"
 
 namespace {
+
+/// Observability requested on the command line: `--metrics[=json|pretty]`
+/// and `--trace-out <file>`, honored by compute and cell modes.
+struct ObsRequest {
+  std::string metrics_mode;  ///< "" (off), "json", or "pretty"
+  std::string trace_path;    ///< "" when no trace requested
+  obs::Registry registry;
+  obs::TraceSink trace;
+
+  [[nodiscard]] bool metrics_on() const { return !metrics_mode.empty(); }
+  [[nodiscard]] bool trace_on() const { return !trace_path.empty(); }
+
+  explicit ObsRequest(const satutil::ArgParser& args) {
+    const std::string m = args.get("metrics");
+    if (m == "true" || m == "pretty") metrics_mode = "pretty";
+    else if (m == "json") metrics_mode = "json";
+    else if (m != "false") {
+      std::fprintf(stderr,
+                   "unknown --metrics format '%s' (want json or pretty)\n",
+                   m.c_str());
+      std::exit(1);
+    }
+    trace_path = args.get("trace-out");
+  }
+
+  /// Prints the snapshot and writes the trace file. Returns false on I/O
+  /// failure writing the trace.
+  [[nodiscard]] bool finish() {
+    if (metrics_on()) {
+      const obs::Snapshot snap = registry.snapshot();
+      const std::string out =
+          metrics_mode == "json" ? snap.to_json() + "\n" : snap.to_pretty();
+      std::fputs(out.c_str(), stdout);
+    }
+    if (trace_on()) {
+      if (!trace.write_file(trace_path)) return false;
+      std::printf("wrote %zu trace events to %s\n", trace.event_count(),
+                  trace_path.c_str());
+    }
+    return true;
+  }
+};
 
 satalgo::Algorithm parse_algorithm(const std::string& name) {
   if (name == "duplicate") return satalgo::Algorithm::kDuplicate;
@@ -49,6 +93,9 @@ int mode_compute(const satutil::ArgParser& args) {
   opts.tile_w = static_cast<std::size_t>(args.get_int("w"));
   gpusim::ProtocolChecker checker;
   if (args.get_flag("check-protocol")) opts.checker = &checker;
+  ObsRequest obs(args);
+  if (obs.metrics_on()) opts.metrics = &obs.registry;
+  if (obs.trace_on()) opts.trace = &obs.trace;
   const auto result = sat::compute_sat(input, opts);
   const auto err = sat::validate_sat(input, result.table);
   std::printf("%s on %zux%zu (padded to %zu-aligned): %s\n",
@@ -63,6 +110,7 @@ int mode_compute(const satutil::ArgParser& args) {
               satutil::format_count(result.stats.element_reads).c_str(),
               satutil::format_count(result.stats.element_writes).c_str(),
               result.stats.critical_path_us / 1e3);
+  if (!obs.finish()) return 1;
   return err ? 1 : 0;
 }
 
@@ -70,7 +118,11 @@ int mode_cell(const satutil::ArgParser& args) {
   const auto n = static_cast<std::size_t>(args.get_int("n"));
   const auto algo = parse_algorithm(args.get("algorithm"));
   const auto w = static_cast<std::size_t>(args.get_int("w"));
-  const auto cell = satmodel::run_cell(n, algo, w, /*materialize=*/false);
+  ObsRequest obs(args);
+  const auto cell = satmodel::run_cell(
+      n, algo, w, /*materialize=*/false, /*seed=*/1,
+      obs.metrics_on() ? &obs.registry : nullptr,
+      obs.trace_on() ? &obs.trace : nullptr);
   std::printf("%s, n=%zu, W=%zu: model %.4f ms", satalgo::name_of(algo), n, w,
               cell.model_ms);
   if (cell.paper_ms) std::printf(" (paper: %.4f ms)", *cell.paper_ms);
@@ -81,7 +133,7 @@ int mode_cell(const satutil::ArgParser& args) {
               double(cell.totals.element_reads) / double(n) / double(n),
               double(cell.totals.element_writes) / double(n) / double(n),
               cell.max_lookback_depth);
-  return 0;
+  return obs.finish() ? 0 : 1;
 }
 
 int mode_tune(const satutil::ArgParser& args) {
@@ -175,7 +227,13 @@ int main(int argc, char** argv) {
       .add("seed", "1", "workload seed")
       .add("out", "trace.csv", "output file (trace mode)")
       .add_flag("check-protocol",
-                "verify the soft-sync protocol during compute mode");
+                "verify the soft-sync protocol during compute mode")
+      .add_flag("metrics",
+                "print run metrics (compute/cell modes): --metrics for a "
+                "pretty table, --metrics=json for one JSON line")
+      .add("trace-out", "",
+           "write Chrome trace_events JSON of the run to this file "
+           "(compute/cell modes; open in ui.perfetto.dev)");
   if (!args.parse(argc, argv)) return 1;
 
   const std::string mode = args.get("mode");
