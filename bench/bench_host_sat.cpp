@@ -7,6 +7,7 @@
 #include "core/matrix.hpp"
 #include "host/sat_cpu.hpp"
 #include "host/sat_parallel.hpp"
+#include "host/sat_skss_lb.hpp"
 #include "host/sat_wavefront.hpp"
 #include "host/thread_pool.hpp"
 #include "sat/registry.hpp"
@@ -85,6 +86,34 @@ BENCHMARK(BM_HostSatWavefront)
     ->Args({1024, 2})
     ->Args({1024, 4})
     ->Args({4096, 4});
+
+// The paper's single-pass look-back algorithm on host threads:
+// range = {n, tile width W, workers}.
+void BM_HostSatSkssLb(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto w = static_cast<std::size_t>(state.range(1));
+  const auto workers = static_cast<std::size_t>(state.range(2));
+  const auto a = sat::Matrix<float>::random(n, n, 1, 0.0f, 1.0f);
+  sat::Matrix<float> b(n, n);
+  sathost::ThreadPool pool(workers);
+  sathost::SkssLbOptions opt;
+  opt.tile_w = w;
+  for (auto _ : state) {
+    sathost::sat_skss_lb<float>(pool, a.view(), b.view(), opt);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * n * n * 2 * 4);
+}
+BENCHMARK(BM_HostSatSkssLb)
+    ->Args({4096, 0, 1})  // W=0: auto tile width
+    ->Args({4096, 0, 4})
+    ->Args({1024, 128, 1})
+    ->Args({1024, 128, 4})
+    ->Args({4096, 64, 4})
+    ->Args({4096, 128, 1})
+    ->Args({4096, 128, 4})
+    ->Args({4096, 256, 4})
+    ->Args({8192, 128, 4});
 
 // Simulator throughput: functional SKSS-LB elements simulated per second.
 void BM_SimulatorSkssLb(benchmark::State& state) {

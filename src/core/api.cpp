@@ -5,6 +5,9 @@
 
 #include "host/sat_cpu.hpp"
 #include "host/sat_parallel.hpp"
+#include "host/sat_simd.hpp"
+#include "host/sat_skss_lb.hpp"
+#include "host/sat_wavefront.hpp"
 #include "host/thread_pool.hpp"
 #include "sat/algo_batch.hpp"
 #include "scan/row_scan.hpp"
@@ -85,11 +88,45 @@ template <class T>
 Result<T> compute_on_cpu(const Matrix<T>& input, const Options& opts) {
   Result<T> result;
   result.table = Matrix<T>(input.rows(), input.cols());
-  sathost::ThreadPool pool(opts.cpu_threads);
-  pool.set_obs(opts.metrics, opts.trace);
-  sathost::sat_parallel<T>(pool, input.view(), result.table.view());
-  result.stats.algorithm = "cpu-parallel";
-  return result;
+  switch (opts.cpu_engine) {
+    case CpuEngine::kSequential:
+      sathost::sat_sequential<T>(input.view(), result.table.view());
+      result.stats.algorithm = "cpu-sequential";
+      return result;
+    case CpuEngine::kSimd:
+      sathost::sat_simd<T>(input.view(), result.table.view(),
+                           /*tile=*/4096, opts.metrics);
+      result.stats.algorithm = "cpu-simd";
+      return result;
+    case CpuEngine::kParallel: {
+      sathost::ThreadPool pool(opts.cpu_threads);
+      pool.set_obs(opts.metrics, opts.trace);
+      sathost::sat_parallel<T>(pool, input.view(), result.table.view());
+      result.stats.algorithm = "cpu-parallel";
+      return result;
+    }
+    case CpuEngine::kWavefront: {
+      sathost::ThreadPool pool(opts.cpu_threads);
+      pool.set_obs(opts.metrics, opts.trace);
+      sathost::sat_wavefront<T>(pool, input.view(), result.table.view(),
+                                opts.cpu_tile_w != 0 ? opts.cpu_tile_w : 128);
+      result.stats.algorithm = "cpu-wavefront";
+      return result;
+    }
+    case CpuEngine::kSkssLb: {
+      sathost::ThreadPool pool(opts.cpu_threads);
+      pool.set_obs(opts.metrics, opts.trace);
+      sathost::SkssLbOptions lb;
+      lb.tile_w = opts.cpu_tile_w;
+      lb.metrics = opts.metrics;
+      lb.trace = opts.trace;
+      sathost::sat_skss_lb<T>(pool, input.view(), result.table.view(), lb);
+      result.stats.algorithm = "cpu-skss-lb";
+      return result;
+    }
+  }
+  SAT_CHECK_MSG(false, "unknown cpu engine");
+  return {};
 }
 
 }  // namespace

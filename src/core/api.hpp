@@ -32,6 +32,15 @@ enum class Backend {
   kCpu,           ///< run the multithreaded host implementation
 };
 
+/// Host engine selection for Backend::kCpu (see docs/host_engine.md).
+enum class CpuEngine {
+  kSequential,  ///< single-threaded scalar reference
+  kSimd,        ///< single-threaded fused SIMD sweep
+  kParallel,    ///< two-pass multithreaded (rows then columns)
+  kWavefront,   ///< tile wavefront with one barrier per anti-diagonal
+  kSkssLb,      ///< the paper's 1R1W-SKSS-LB on worker threads
+};
+
 /// Options for compute_sat. Defaults reproduce the paper's best
 /// configuration (1R1W-SKSS-LB, W = 128, 1024-thread blocks, diagonal
 /// shared-memory arrangement).
@@ -48,6 +57,16 @@ struct Options {
 
   /// CPU backend: worker threads (0 = hardware concurrency).
   std::size_t cpu_threads = 0;
+
+  /// CPU backend: which host engine runs (docs/host_engine.md compares
+  /// them; kSkssLb is the paper's algorithm on the host).
+  CpuEngine cpu_engine = CpuEngine::kParallel;
+
+  /// CPU backend: tile width for the tiled engines. Any positive value —
+  /// the host has no warp-multiple constraint. 0 = engine default
+  /// (kWavefront: 128; kSkssLb: automatic worker-count-scaled width, see
+  /// sathost::SkssLbOptions::tile_w).
+  std::size_t cpu_tile_w = 0;
 
   /// Optional soft-sync protocol verifier (not owned). When set, the
   /// simulated-GPU backend records a happens-before graph of the run and

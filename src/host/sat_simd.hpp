@@ -159,6 +159,85 @@ T simd_row_scan_acc(const T* src, T* acc, T* dst, std::size_t n,
   return carry;
 }
 
+/// Register-blocked 4-row variant of simd_row_scan_acc: four source rows
+/// advance through one accumulator row in a single sweep, so the column
+/// carry flows r0 → r1 → r2 → r3 through registers and `acc` is loaded and
+/// stored once per four output rows instead of once per row. The four
+/// horizontal carry chains are independent, which also covers the scan's
+/// latency. Association order is identical to four successive
+/// simd_row_scan_acc calls — results are bit-equal, not just close.
+/// `carries[0..3]` are the per-row carry-ins and receive the carry-outs.
+/// Streaming applies only when every dst row shares vector alignment
+/// (stride a multiple of the vector width); same WC-line rule as the 1-row
+/// kernel.
+template <class T>
+void simd_row_scan_acc4(const T* const src[4], T* acc, T* const dst[4],
+                        std::size_t n, T carries[4],
+                        bool allow_stream = true) {
+  using V = satsimd::Vec<T>;
+  std::size_t j = 0;
+  if (n >= V::width) {
+    V v0 = V::broadcast(carries[0]), v1 = V::broadcast(carries[1]);
+    V v2 = V::broadcast(carries[2]), v3 = V::broadcast(carries[3]);
+    const bool stream =
+        allow_stream &&
+        reinterpret_cast<std::uintptr_t>(dst[0]) % (V::width * sizeof(T)) ==
+            0 &&
+        reinterpret_cast<std::uintptr_t>(dst[1]) % (V::width * sizeof(T)) ==
+            0;
+    auto loop = [&](auto streamed) {
+      for (; j + V::width <= n; j += V::width) {
+        satsimd::prefetch(reinterpret_cast<const char*>(src[0] + j) +
+                          kPrefetchAheadBytes);
+        satsimd::prefetch(reinterpret_cast<const char*>(src[3] + j) +
+                          kPrefetchAheadBytes);
+        const V x0 = V::load(src[0] + j), x1 = V::load(src[1] + j);
+        const V x2 = V::load(src[2] + j), x3 = V::load(src[3] + j);
+        const V o0 = x0.inclusive_scan() + v0 + V::load(acc + j);
+        const V o1 = x1.inclusive_scan() + v1 + o0;
+        const V o2 = x2.inclusive_scan() + v2 + o1;
+        const V o3 = x3.inclusive_scan() + v3 + o2;
+        if constexpr (decltype(streamed)::value) {
+          o0.store_stream(dst[0] + j);
+          o1.store_stream(dst[1] + j);
+          o2.store_stream(dst[2] + j);
+          o3.store_stream(dst[3] + j);
+        } else {
+          o0.store(dst[0] + j);
+          o1.store(dst[1] + j);
+          o2.store(dst[2] + j);
+          o3.store(dst[3] + j);
+        }
+        o3.store(acc + j);
+        v0 += x0.sum_broadcast();
+        v1 += x1.sum_broadcast();
+        v2 += x2.sum_broadcast();
+        v3 += x3.sum_broadcast();
+      }
+    };
+    if (stream) loop(std::true_type{});
+    else loop(std::false_type{});
+    carries[0] = v0.last();
+    carries[1] = v1.last();
+    carries[2] = v2.last();
+    carries[3] = v3.last();
+  }
+  for (; j < n; ++j) {
+    carries[0] += src[0][j];
+    carries[1] += src[1][j];
+    carries[2] += src[2][j];
+    carries[3] += src[3][j];
+    const T o0 = acc[j] + carries[0];
+    const T o1 = o0 + carries[1];
+    const T o2 = o1 + carries[2];
+    const T o3 = o2 + carries[3];
+    dst[0][j] = o0;
+    dst[1][j] = o1;
+    dst[2][j] = o2;
+    dst[3][j] = acc[j] = o3;
+  }
+}
+
 /// Single-pass vectorized SAT: both passes of Figure 2 fused into one sweep.
 /// `acc` is the column-carry vector (the previous dst row, kept hot in L1),
 /// the in-register broadcast carry is the row-carry vector, and dst streams

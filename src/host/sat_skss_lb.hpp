@@ -1,0 +1,395 @@
+// Host 1R1W-SKSS-LB: the paper's single-kernel decoupled-look-back SAT (§IV)
+// on CPU worker threads.
+//
+// Why this engine exists: SAT is memory-bound, so every extra sweep over the
+// matrix is pure wasted DRAM traffic. The repo's two earlier multithreaded
+// host engines both pay one: `sat_parallel` materializes a full intermediate
+// pass (2R2W-shaped traffic), `sat_wavefront` re-reads finished dst cells to
+// recover carries and barriers once per anti-diagonal. This engine is the
+// paper's answer ported to the host: worker threads act as CUDA blocks,
+// self-assigning tiles from an atomic counter in diagonal-major serial order
+//   σ(I,J) = (I+J)(I+J+1)/2 + I                        (Figure 9),
+// computing each tile's SAT with the fused SIMD kernels in one read and one
+// write over the matrix, and resolving the left / top / diagonal prefixes by
+// walking per-tile status flags (LOCAL → GLOBAL publication, lookback.hpp)
+// instead of a barrier between passes.
+//
+// Deadlock-freedom with a finite thread pool: every look-back dependency of
+// T(I,J) points to a tile with a strictly smaller serial, and serials are
+// claimed in increasing order, so a dependency is always claimed before its
+// dependent. Workers never block on anything *pool*-related while holding a
+// tile (run_persistent keeps them off the pool mutex); a flag wait can only
+// point at a tile some running worker has already claimed, and the claimant
+// of the smallest unfinished serial never waits at all — its dependencies
+// are all finished. Induction gives progress for any worker count ≥ 1,
+// including oversubscribed and single-core machines (waiters yield the
+// timeslice; see util/backoff.hpp).
+//
+// Two per-tile paths, identical results:
+//   - fast path: all predecessors already GLOBAL when the tile is claimed
+//     (always true for 1 worker, the common case under mild contention).
+//     The tile is computed *directly* into dst in one fused sweep seeded
+//     with the predecessors' prefixes; GRS falls out as the row carries,
+//     GCS by differencing the (cache-hot) bottom output row, GS is the
+//     bottom-right output. The terminal flags are published in one shot.
+//   - look-back path (the paper's steps): compute the tile's LOCAL SAT into
+//     a cache-resident buffer (1), publish LRS/LCS (2.A.1/2.B.1), walk left
+//     for GRS (2.A.2–3), up for GCS (2.B.2–3), publish GLS (3.1), walk the
+//     diagonal for GS (3.2–3.3), then add the three prefixes during the
+//     single store to dst (4). dst is still written exactly once.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "host/lookback.hpp"
+#include "host/sat_simd.hpp"
+#include "host/thread_pool.hpp"
+#include "obs/trace.hpp"
+#include "sat/tiles.hpp"
+#include "util/span2d.hpp"
+
+namespace sathost {
+
+struct SkssLbOptions {
+  /// Tile width W (tiles are W×W, clipped at the matrix edges). Any
+  /// positive value is accepted — the host has no warp-multiple constraint.
+  /// 0 picks W automatically: ~one tile column per worker, never below 128,
+  /// capped so a W-element accumulator row fits L1 (16 KiB: 4096 for f32).
+  /// Unlike a GPU with thousands of blocks in flight, the host only needs
+  /// enough tiles to feed its few workers, and bigger tiles keep each
+  /// worker's sweep on long contiguous runs of src/dst (with one worker on
+  /// a ≤4096² f32 matrix the auto choice degenerates to a single tile — the
+  /// whole matrix in one fused sweep, the 1R1W limit case).
+  std::size_t tile_w = 0;
+  /// Worker threads acting as blocks; 0 = every thread of the pool. May
+  /// exceed the pool size (extra workers queue; see ThreadPool::
+  /// run_persistent) — correctness never depends on the count.
+  std::size_t workers = 0;
+  /// Optional observability (not owned): host.lookback.{depth,flag_wait_us,
+  /// tiles_retired,fastpath_tiles} metrics and one trace span per tile.
+  obs::Registry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
+  /// Test hook, called right after a worker claims each tile serial (used
+  /// by the flag-protocol stress test to inject randomized stalls). Leave
+  /// empty in production.
+  std::function<void(std::size_t serial)> tile_hook;
+};
+
+namespace detail {
+
+/// dst[j] = a[j] + b + off[j] for j in [0, n) — the look-back path's fix-up
+/// store (tile-local SAT + row-band prefix + column-band/corner prefix).
+/// Streams through non-temporal stores when allowed and aligned, mirroring
+/// simd_row_scan_acc's gating.
+template <class T>
+void simd_offset_store(const T* a, const T* off, T b, T* dst, std::size_t n,
+                       bool allow_stream) {
+  using V = satsimd::Vec<T>;
+  std::size_t j = 0;
+  if (n >= V::width) {
+    const V vb = V::broadcast(b);
+    const bool stream =
+        allow_stream &&
+        reinterpret_cast<std::uintptr_t>(dst) % (V::width * sizeof(T)) == 0;
+    auto loop = [&](auto streamed) {
+      for (; j + V::width <= n; j += V::width) {
+        const V out = V::load(a + j) + vb + V::load(off + j);
+        if constexpr (decltype(streamed)::value) out.store_stream(dst + j);
+        else out.store(dst + j);
+      }
+    };
+    if (stream) loop(std::true_type{});
+    else loop(std::false_type{});
+  }
+  for (; j < n; ++j) dst[j] = a[j] + b + off[j];
+}
+
+}  // namespace detail
+
+/// Computes the SAT of `src` into `dst` with the host 1R1W-SKSS-LB engine.
+/// `src` and `dst` must have identical shape and must not alias. Results are
+/// exact for integral T; floating-point results differ from the sequential
+/// oracle only by association order (the look-back path's accumulation order
+/// depends on predecessor timing, like the device algorithm).
+template <class T>
+void sat_skss_lb(ThreadPool& pool, satutil::Span2d<const T> src,
+                 satutil::Span2d<T> dst, const SkssLbOptions& opt = {}) {
+  SAT_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  const std::size_t rows = src.rows();
+  const std::size_t cols = src.cols();
+  if (rows == 0 || cols == 0) return;
+
+  const std::size_t nworkers =
+      opt.workers != 0 ? opt.workers : pool.size();
+  std::size_t w = opt.tile_w;
+  if (w == 0) {
+    const std::size_t maxdim = std::max(rows, cols);
+    w = std::max<std::size_t>(128, (maxdim + nworkers - 1) / nworkers);
+    // Cap W so one accumulator row (W elements) stays L1-resident: the fast
+    // path carries the column prefix through it on every sweep, and past
+    // ~16 KiB it starts thrashing (measured 30% slower at 8192² f32 with an
+    // uncapped 32 KiB acc row vs. two 4096-wide tile columns).
+    const std::size_t cap =
+        std::max<std::size_t>(128, std::size_t{16384} / sizeof(T));
+    w = std::min(w, cap);
+  }
+  // Diagonal-major serials over the tile grid; edge tiles are clipped to the
+  // matrix, so the grid is built on the padded-to-W shape.
+  const satalgo::TileGrid grid((rows + w - 1) / w * w, (cols + w - 1) / w * w,
+                               w);
+  LookbackAux<T> aux(grid.count(), w);
+  std::atomic<std::size_t> work_counter{0};
+
+  LookbackObs obs;
+  obs.resolve(opt.metrics);
+  int trace_pid = 0;
+#if SATLIB_OBS_ENABLED
+  if (opt.trace != nullptr)
+    trace_pid = opt.trace->register_process("host skss-lb");
+#endif
+
+  const bool allow_stream = rows * cols * sizeof(T) >= kStreamMinBytes;
+
+  auto worker = [&](std::size_t worker_index) {
+    // Per-worker scratch: the cache-resident tile (the shared-memory
+    // analog) and the resolved prefix vectors, reused across tiles. The
+    // tile buffer is W² elements, so it is faulted in lazily — a worker
+    // whose every tile takes the fast path (always true with one worker)
+    // never touches it.
+    std::vector<T> tilebuf;
+    std::vector<T> acc(w);
+    std::vector<T> grs_left(w);
+    std::vector<T> gcs_up(w);
+    std::vector<T> offrow(w);
+
+    for (;;) {
+      // Self-assignment: the atomic grab hands tiles out in serial order,
+      // the host form of the paper's atomicAdd work counter.
+      const std::size_t serial =
+          work_counter.fetch_add(1, std::memory_order_relaxed);
+      if (serial >= grid.count()) break;
+      if (opt.tile_hook) opt.tile_hook(serial);
+#if SATLIB_OBS_ENABLED
+      const double ts =
+          opt.trace != nullptr ? opt.trace->now_host_us() : 0.0;
+#endif
+
+      const auto [ti, tj] = grid.tile_of_serial(serial);
+      const std::size_t self = grid.idx(ti, tj);
+      const std::size_t r0 = ti * w, c0 = tj * w;
+      const std::size_t P = std::min(w, rows - r0);  // tile rows
+      const std::size_t Q = std::min(w, cols - c0);  // tile cols
+      const std::size_t left = tj > 0 ? grid.idx(ti, tj - 1) : 0;
+      const std::size_t up = ti > 0 ? grid.idx(ti - 1, tj) : 0;
+      const std::size_t diag = (ti > 0 && tj > 0) ? grid.idx(ti - 1, tj - 1)
+                                                  : 0;
+      T* grs_self = aux.grs.get() + aux.vec_base(self);
+      T* gcs_self = aux.gcs.get() + aux.vec_base(self);
+
+      const bool fast =
+          (tj == 0 || aux.r_status.peek(left) >= hflag::kGrs) &&
+          (ti == 0 || aux.c_status.peek(up) >= hflag::kGcs) &&
+          (ti == 0 || tj == 0 || aux.r_status.peek(diag) >= hflag::kGs);
+
+      if (fast) {
+        // Every prefix is already GLOBAL: one fused sweep straight into
+        // dst, seeded with the predecessors' prefixes. Row p's carry-in is
+        // GRS(I,J−1)[p]; the accumulator row starts at the inclusive
+        // prefix of GCS(I−1,J) plus GS(I−1,J−1), so each output element is
+        // final as it is stored.
+        const T* grs_in =
+            tj > 0 ? aux.grs.get() + aux.vec_base(left) : nullptr;
+        const T* gcs_in =
+            ti > 0 ? aux.gcs.get() + aux.vec_base(up) : nullptr;
+        const T corner = (ti > 0 && tj > 0) ? aux.gs[diag] : T{};
+        T band_left{};  // Σ GRS(I,J−1) — SAT(r1, c0−1) together with corner
+        {
+          T run = corner;
+          for (std::size_t q = 0; q < Q; ++q) {
+            run += gcs_in != nullptr ? gcs_in[q] : T{};
+            acc[q] = run;
+          }
+        }
+        std::size_t p = 0;
+        for (; p + 4 <= P; p += 4) {
+          const T* srows[4] = {&src(r0 + p, c0), &src(r0 + p + 1, c0),
+                               &src(r0 + p + 2, c0), &src(r0 + p + 3, c0)};
+          T* drows[4] = {&dst(r0 + p, c0), &dst(r0 + p + 1, c0),
+                         &dst(r0 + p + 2, c0), &dst(r0 + p + 3, c0)};
+          T carries[4];
+          for (std::size_t k = 0; k < 4; ++k) {
+            carries[k] = grs_in != nullptr ? grs_in[p + k] : T{};
+            band_left += carries[k];
+          }
+          simd_row_scan_acc4(srows, acc.data(), drows, Q, carries,
+                             allow_stream);
+          for (std::size_t k = 0; k < 4; ++k) grs_self[p + k] = carries[k];
+        }
+        for (; p < P; ++p) {
+          const T carry_in = grs_in != nullptr ? grs_in[p] : T{};
+          band_left += carry_in;
+          grs_self[p] = simd_row_scan_acc(&src(r0 + p, c0), acc.data(),
+                                          &dst(r0 + p, c0), Q, carry_in,
+                                          allow_stream);
+        }
+        // acc now holds the tile's bottom output row: GCS by differencing
+        // (exact for integral T), GS is its last entry.
+        gcs_self[0] = acc[0] - (band_left + corner);
+        for (std::size_t q = 1; q < Q; ++q)
+          gcs_self[q] = acc[q] - acc[q - 1];
+        aux.gs[self] = acc[Q - 1];
+        // Flags are monotone: publishing the terminal states directly is
+        // indistinguishable from a fast publisher (no waiter can observe
+        // the skipped LOCAL/GLS states).
+        aux.r_status.publish(self, hflag::kGs);
+        aux.c_status.publish(self, hflag::kGcs);
+#if SATLIB_OBS_ENABLED
+        if (obs.fastpath_tiles != nullptr) {
+          obs.fastpath_tiles->add();
+          if (tj > 0) obs.depth->record(1);
+          if (ti > 0) obs.depth->record(1);
+          if (ti > 0 && tj > 0) obs.depth->record(1);
+        }
+#endif
+      } else {
+        if (tilebuf.empty()) tilebuf.resize(w * w);
+        T* lrs_self = aux.lrs.get() + aux.vec_base(self);
+        T* lcs_self = aux.lcs.get() + aux.vec_base(self);
+
+        // Step 1: the tile's LOCAL SAT into the cache-resident buffer; the
+        // row carries are LRS, the bottom row's differences are LCS.
+        std::fill(acc.begin(), acc.begin() + Q, T{});
+        {
+          std::size_t p = 0;
+          for (; p + 4 <= P; p += 4) {
+            const T* srows[4] = {&src(r0 + p, c0), &src(r0 + p + 1, c0),
+                                 &src(r0 + p + 2, c0), &src(r0 + p + 3, c0)};
+            T* brows[4] = {tilebuf.data() + p * w,
+                           tilebuf.data() + (p + 1) * w,
+                           tilebuf.data() + (p + 2) * w,
+                           tilebuf.data() + (p + 3) * w};
+            T carries[4] = {T{}, T{}, T{}, T{}};
+            simd_row_scan_acc4(srows, acc.data(), brows, Q, carries,
+                               /*allow_stream=*/false);
+            for (std::size_t k = 0; k < 4; ++k) lrs_self[p + k] = carries[k];
+          }
+          for (; p < P; ++p)
+            lrs_self[p] =
+                simd_row_scan_acc(&src(r0 + p, c0), acc.data(),
+                                  tilebuf.data() + p * w, Q, T{},
+                                  /*allow_stream=*/false);
+        }
+        const T* bottom = tilebuf.data() + (P - 1) * w;
+        lcs_self[0] = bottom[0];
+        for (std::size_t q = 1; q < Q; ++q)
+          lcs_self[q] = bottom[q] - bottom[q - 1];
+
+        // Steps 2.A.1 / 2.B.1: publish the LOCAL sums.
+        aux.r_status.publish(self, hflag::kLrs);
+        aux.c_status.publish(self, hflag::kLcs);
+
+        // Steps 2.A.2–3: look back leftwards for GRS(I,J−1) (Figure 10).
+        std::fill(grs_left.begin(), grs_left.begin() + P, T{});
+        if (tj > 0) {
+          const std::size_t d = lookback_accumulate(
+              aux.r_status, aux.lrs.get(), aux.grs.get(), w, tj, P,
+              grs_left.data(), hflag::kLrs, hflag::kGrs, obs,
+              [&](std::size_t k) { return grid.idx(ti, tj - 1 - k); });
+#if SATLIB_OBS_ENABLED
+          if (obs.depth != nullptr) obs.depth->record(d);
+#else
+          (void)d;
+#endif
+        }
+        for (std::size_t p = 0; p < P; ++p)
+          grs_self[p] = grs_left[p] + lrs_self[p];
+        aux.r_status.publish(self, hflag::kGrs);
+
+        // Steps 2.B.2–3: the same look-back upwards for GCS(I−1,J).
+        std::fill(gcs_up.begin(), gcs_up.begin() + Q, T{});
+        if (ti > 0) {
+          const std::size_t d = lookback_accumulate(
+              aux.c_status, aux.lcs.get(), aux.gcs.get(), w, ti, Q,
+              gcs_up.data(), hflag::kLcs, hflag::kGcs, obs,
+              [&](std::size_t k) { return grid.idx(ti - 1 - k, tj); });
+#if SATLIB_OBS_ENABLED
+          if (obs.depth != nullptr) obs.depth->record(d);
+#else
+          (void)d;
+#endif
+        }
+        for (std::size_t q = 0; q < Q; ++q)
+          gcs_self[q] = gcs_up[q] + lcs_self[q];
+        aux.c_status.publish(self, hflag::kGcs);
+
+        // Step 3.1: GLS(I,J), the L-shaped band sum (Figure 11).
+        T gls_val{};
+        for (std::size_t p = 0; p < P; ++p)
+          gls_val += grs_left[p] + lrs_self[p];
+        for (std::size_t q = 0; q < Q; ++q) gls_val += gcs_up[q];
+        aux.gls[self] = gls_val;
+        aux.r_status.publish(self, hflag::kGls);
+
+        // Steps 3.2–3.3: diagonal look-back for GS(I−1,J−1); GS telescopes
+        // into ΣGLS, and a border tile's GLS equals its GS, so the walk
+        // terminates at k = min(I,J) even if no GS is published yet.
+        T gs_corner{};
+        if (ti > 0 && tj > 0) {
+          const std::size_t d = lookback_accumulate(
+              aux.r_status, aux.gls.get(), aux.gs.get(), 1,
+              std::min(ti, tj), 1, &gs_corner, hflag::kGls, hflag::kGs, obs,
+              [&](std::size_t k) { return grid.idx(ti - 1 - k, tj - 1 - k); });
+#if SATLIB_OBS_ENABLED
+          if (obs.depth != nullptr) obs.depth->record(d);
+#else
+          (void)d;
+#endif
+        }
+        aux.gs[self] = gs_corner + gls_val;
+        aux.r_status.publish(self, hflag::kGs);
+
+        // Step 4: the single store to dst, prefixes folded in on the way
+        // out: dst = local SAT + row-band prefix + column-band/corner row.
+        {
+          T run = gs_corner;
+          for (std::size_t q = 0; q < Q; ++q) {
+            run += gcs_up[q];
+            offrow[q] = run;
+          }
+        }
+        T band{};
+        for (std::size_t p = 0; p < P; ++p) {
+          band += grs_left[p];
+          detail::simd_offset_store(tilebuf.data() + p * w, offrow.data(),
+                                    band, &dst(r0 + p, c0), Q, allow_stream);
+        }
+      }
+
+#if SATLIB_OBS_ENABLED
+      if (obs.tiles_retired != nullptr) obs.tiles_retired->add();
+      if (opt.trace != nullptr) {
+        char args[96];
+        std::snprintf(args, sizeof args,
+                      "{\"serial\":%zu,\"ti\":%zu,\"tj\":%zu,\"fast\":%d}",
+                      serial, ti, tj, fast ? 1 : 0);
+        opt.trace->complete(trace_pid, worker_index, "tile", "host",
+                            ts, opt.trace->now_host_us() - ts, args);
+      }
+#else
+      (void)worker_index;
+#endif
+    }
+    satsimd::store_fence();
+  };
+
+  pool.run_persistent(nworkers, worker);
+}
+
+}  // namespace sathost

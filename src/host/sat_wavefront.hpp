@@ -45,9 +45,21 @@ void sat_wavefront(ThreadPool& pool, satutil::Span2d<const T> src,
   for (std::size_t d = 0; d < gr + gc - 1; ++d) {
     const std::size_t i_lo = d < gc ? 0 : d - gc + 1;
     const std::size_t i_hi = std::min(gr - 1, d);
-    pool.parallel_for(i_hi - i_lo + 1, [&](std::size_t k) {
-      const std::size_t bi = i_lo + k;
-      process_tile(bi, d - bi);
+    const std::size_t count = i_hi - i_lo + 1;
+    // One tile per chunk drowns in dispatch overhead (n=4096, W=128: 5120
+    // chunks averaging 49 µs — see the host.pool.chunk_us diagnosis in
+    // docs/observability.md). Coarsen to ≥4 tiles per chunk, still leaving
+    // up to 4 chunks per worker for load balance on long diagonals.
+    const std::size_t per_chunk = std::max<std::size_t>(
+        4, (count + pool.size() * 4 - 1) / (pool.size() * 4));
+    const std::size_t chunks = (count + per_chunk - 1) / per_chunk;
+    pool.parallel_for(chunks, [&](std::size_t chunk) {
+      const std::size_t k_lo = chunk * per_chunk;
+      const std::size_t k_hi = std::min(count, k_lo + per_chunk);
+      for (std::size_t k = k_lo; k < k_hi; ++k) {
+        const std::size_t bi = i_lo + k;
+        process_tile(bi, d - bi);
+      }
     });
   }
 }

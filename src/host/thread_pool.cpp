@@ -1,6 +1,7 @@
 #include "host/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 
@@ -8,6 +9,22 @@
 #include "obs/trace.hpp"
 
 namespace sathost {
+
+// One submitted batch. Heap-allocated and shared so a worker waking late
+// from an old generation holds an exhausted Batch rather than racing a new
+// one; the cursor only ever grows, so a stale claim harmlessly overshoots.
+struct ThreadPool::Batch {
+  Batch(std::size_t n, const std::function<void(std::size_t)>& f,
+        bool instrumented)
+      : fn(&f), chunks(n), pending(n), instrument(instrumented) {}
+
+  const std::function<void(std::size_t)>* fn;  // outlives the batch: the
+                                               // submitter blocks on pending
+  std::size_t chunks;
+  std::atomic<std::size_t> cursor{0};   // next chunk to claim (may overshoot)
+  std::atomic<std::size_t> pending;     // chunks not yet finished
+  bool instrument;                      // apply per-chunk obs hooks
+};
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
@@ -73,67 +90,77 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::parallel_for(std::size_t chunks,
                               const std::function<void(std::size_t)>& fn) {
+  submit_and_wait(chunks, fn, /*instrument=*/true);
+}
+
+void ThreadPool::run_persistent(std::size_t workers,
+                                const std::function<void(std::size_t)>& fn) {
+  submit_and_wait(workers != 0 ? workers : size(), fn, /*instrument=*/false);
+}
+
+void ThreadPool::drain(Batch& batch, std::uint64_t tid) {
+  for (;;) {
+    // Relaxed is enough: the claim carries no payload — all batch state a
+    // chunk needs was published by the mutex (workers) or is caller-local.
+    const std::size_t chunk =
+        batch.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= batch.chunks) break;
+    if (batch.instrument) {
+      run_chunk(chunk, *batch.fn, tid);
+    } else {
+      (*batch.fn)(chunk);
+    }
+    finish_chunk(batch);
+  }
+}
+
+void ThreadPool::finish_chunk(Batch& batch) {
+  // acq_rel: release the chunk's writes to the submitter, acquire every
+  // other chunk's writes for whoever observes zero.
+  if (batch.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Taking mu_ before notifying closes the check-then-sleep window in
+    // submit_and_wait's predicate wait.
+    std::lock_guard lock(mu_);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::submit_and_wait(std::size_t chunks,
+                                 const std::function<void(std::size_t)>& fn,
+                                 bool instrument) {
   if (chunks == 0) return;
+  auto batch = std::make_shared<Batch>(chunks, fn, instrument);
   {
     std::lock_guard lock(mu_);
-    fn_ = &fn;
-    chunks_ = chunks;
-    next_chunk_ = 0;
-    in_flight_ = 0;
+    batch_ = batch;
     ++generation_;
   }
   work_cv_.notify_all();
 
-  // The calling thread drains chunks too.
-  for (;;) {
-    std::size_t chunk;
-    {
-      std::lock_guard lock(mu_);
-      if (next_chunk_ >= chunks_) break;
-      chunk = next_chunk_++;
-      ++in_flight_;
-    }
-    run_chunk(chunk, fn, 0);
-    {
-      std::lock_guard lock(mu_);
-      --in_flight_;
-    }
-  }
+  // The calling thread drains chunks too (lane/worker 0).
+  drain(*batch, 0);
 
   std::unique_lock lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
-  fn_ = nullptr;
+  done_cv_.wait(lock, [&] {
+    return batch->pending.load(std::memory_order_acquire) == 0;
+  });
+  batch_.reset();
 }
 
 void ThreadPool::worker_loop(std::uint64_t worker_index) {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    std::size_t chunk;
-    const std::function<void(std::size_t)>* fn;
+    std::shared_ptr<Batch> batch;
     {
       std::unique_lock lock(mu_);
       work_cv_.wait(lock, [&] {
-        return stop_ || (fn_ != nullptr && generation_ != seen_generation &&
-                         next_chunk_ < chunks_);
+        return stop_ || (batch_ != nullptr && generation_ != seen_generation);
       });
       if (stop_) return;
-      if (next_chunk_ >= chunks_) {
-        seen_generation = generation_;
-        continue;
-      }
-      chunk = next_chunk_++;
-      ++in_flight_;
-      fn = fn_;
+      seen_generation = generation_;
+      batch = batch_;
     }
-    run_chunk(chunk, *fn, worker_index);
-    {
-      std::lock_guard lock(mu_);
-      --in_flight_;
-      if (next_chunk_ >= chunks_) {
-        seen_generation = generation_;
-        if (in_flight_ == 0) done_cv_.notify_all();
-      }
-    }
+    drain(*batch, worker_index);
   }
 }
 

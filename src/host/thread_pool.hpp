@@ -1,12 +1,20 @@
 // A small reusable thread pool with a parallel_for entry point, used by the
 // multithreaded host SAT. Threads are created once and woken per batch —
 // the standard fork/join worker pattern.
+//
+// Chunk claiming is lock-free: each batch carries its own atomic cursor and
+// workers fetch-add to claim, so the pool mutex is touched only at batch
+// start (publication + wakeup) and batch end (completion signal). Batch
+// state lives on the heap behind a shared_ptr — a worker that wakes late
+// from a previous batch still holds a valid (exhausted) batch object and
+// can never claim chunks of a newer batch with a stale function pointer.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -37,14 +45,36 @@ class ThreadPool {
   void parallel_for(std::size_t chunks,
                     const std::function<void(std::size_t)>& fn);
 
-  /// Opt-in observability: when `reg` is non-null every chunk bumps
-  /// host.pool.chunks and records its wall time in host.pool.chunk_us;
-  /// when `trace` is non-null each chunk emits one span (tid = worker
-  /// index, the calling thread is tid 0). Either may be null. Call while
-  /// no batch is running; pointers are not owned and must outlive use.
+  /// Runs fn(worker_index) once per worker_index in [0, workers)
+  /// (`workers == 0` means size()) and blocks until all return. Unlike
+  /// parallel_for's short chunks, each invocation is a long-lived worker
+  /// body that claims its own work (e.g. tiles from an atomic counter) and
+  /// may spin on peer-published flags — nothing pool-related is locked
+  /// while it runs, so a flag-spinning worker never blocks a peer on the
+  /// pool mutex, and the per-chunk obs hooks are deliberately not applied.
+  /// `workers` may exceed the pool size: surplus invocations run after
+  /// earlier ones return, on whichever thread frees up first. Safe only
+  /// for worker bodies whose inter-worker waits are deadlock-free under
+  /// any degree of serialization (see src/host/sat_skss_lb.hpp).
+  void run_persistent(std::size_t workers,
+                      const std::function<void(std::size_t)>& fn);
+
+  /// Opt-in observability: when `reg` is non-null every parallel_for chunk
+  /// bumps host.pool.chunks and records its wall time in
+  /// host.pool.chunk_us; when `trace` is non-null each chunk emits one
+  /// span (tid = worker index, the calling thread is tid 0). Either may be
+  /// null. Call while no batch is running; pointers are not owned and must
+  /// outlive use.
   void set_obs(obs::Registry* reg, obs::TraceSink* trace);
 
  private:
+  struct Batch;
+
+  void submit_and_wait(std::size_t chunks,
+                       const std::function<void(std::size_t)>& fn,
+                       bool instrument);
+  void drain(Batch& batch, std::uint64_t tid);
+  void finish_chunk(Batch& batch);
   void worker_loop(std::uint64_t worker_index);
   void run_chunk(std::size_t chunk, const std::function<void(std::size_t)>& fn,
                  std::uint64_t tid);
@@ -54,10 +84,7 @@ class ThreadPool {
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
 
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t chunks_ = 0;
-  std::size_t next_chunk_ = 0;
-  std::size_t in_flight_ = 0;
+  std::shared_ptr<Batch> batch_;  // published under mu_
   std::uint64_t generation_ = 0;
   bool stop_ = false;
 

@@ -1,0 +1,53 @@
+// Spin-wait backoff policy for host-side soft-sync protocols.
+//
+// A flag waiter on the CPU has no hardware scheduler guaranteeing the
+// publisher a core: on an oversubscribed (or single-core) machine a raw
+// spin loop can burn the publisher's entire timeslice. SpinBackoff spins
+// a short burst of pause hints first (the publisher is usually one store
+// away on a multicore box), then yields the timeslice so the publisher
+// can run. The policy is deliberately stateless across waits — look-back
+// walks wait on many different flags in sequence and each wait is
+// expected to be short.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+namespace satutil {
+
+/// CPU relax hint inside spin loops (PAUSE on x86); plain no-op elsewhere.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+class SpinBackoff {
+ public:
+  /// `spins_before_yield`: pause-hint iterations tried before the first
+  /// std::this_thread::yield(). Small by design: on a loaded or 1-core
+  /// machine the publisher cannot progress until the waiter yields.
+  explicit SpinBackoff(std::size_t spins_before_yield = 64) noexcept
+      : budget_(spins_before_yield) {}
+
+  /// One wait iteration: pause while the burst budget lasts, yield after.
+  void pause() noexcept {
+    if (spins_ < budget_) {
+      ++spins_;
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Iterations taken so far (spin burst + yields).
+  [[nodiscard]] std::size_t spins() const noexcept { return spins_; }
+
+ private:
+  std::size_t budget_;
+  std::size_t spins_ = 0;
+};
+
+}  // namespace satutil

@@ -1,0 +1,244 @@
+// Differential and protocol tests for the host 1R1W-SKSS-LB engine
+// (src/host/sat_skss_lb.hpp) and ThreadPool::run_persistent.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "host/sat_cpu.hpp"
+#include "host/sat_skss_lb.hpp"
+#include "host/thread_pool.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using sat::Matrix;
+
+template <class T>
+void expect_sat_equal(const Matrix<T>& input, const Matrix<T>& got) {
+  Matrix<T> ref(input.rows(), input.cols());
+  sathost::sat_sequential<T>(input.view(), ref.view());
+  for (std::size_t i = 0; i < input.rows(); ++i) {
+    for (std::size_t j = 0; j < input.cols(); ++j) {
+      if constexpr (std::is_integral_v<T>) {
+        ASSERT_EQ(got(i, j), ref(i, j)) << "at (" << i << "," << j << ")";
+      } else {
+        const double expect = static_cast<double>(ref(i, j));
+        const double scale = std::max(1.0, std::fabs(expect));
+        ASSERT_NEAR(static_cast<double>(got(i, j)), expect, 1e-4 * scale)
+            << "at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+template <class T>
+void run_case(std::size_t rows, std::size_t cols, std::size_t tile_w,
+              std::size_t workers, std::uint64_t seed) {
+  Matrix<T> input;
+  if constexpr (std::is_integral_v<T>) {
+    input = Matrix<T>::random(rows, cols, seed, T{0}, T{9});
+  } else {
+    input = Matrix<T>::random(rows, cols, seed, T{0}, T{1});
+  }
+  Matrix<T> got(rows, cols);
+  sathost::ThreadPool pool(workers);
+  sathost::SkssLbOptions opt;
+  opt.tile_w = tile_w;
+  opt.workers = workers;
+  sathost::sat_skss_lb<T>(pool, input.view(), got.view(), opt);
+  expect_sat_equal(input, got);
+}
+
+// The ISSUE's matrix: n ∈ {1, 7, 256, 1000, 1024} × W ∈ {32, 64, 100} ×
+// workers ∈ {1, 2, 8} × {f32, i64}. n = 1000 and W = 100 exercise the
+// ragged-edge tiles (n not divisible by W).
+class SkssLbMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(SkssLbMatrix, MatchesSequentialF32) {
+  const auto [n, w, workers] = GetParam();
+  run_case<float>(n, n, w, workers, /*seed=*/n * 131 + w);
+}
+
+TEST_P(SkssLbMatrix, MatchesSequentialI64) {
+  const auto [n, w, workers] = GetParam();
+  run_case<std::int64_t>(n, n, w, workers, /*seed=*/n * 137 + w);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SkssLbMatrix,
+    ::testing::Combine(
+        ::testing::Values<std::size_t>(1, 7, 256, 1000, 1024),
+        ::testing::Values<std::size_t>(32, 64, 100),
+        ::testing::Values<std::size_t>(1, 2, 8)));
+
+TEST(SkssLb, DegenerateSingleRow) {
+  run_case<std::int64_t>(1, 777, /*tile_w=*/64, /*workers=*/4, 11);
+}
+
+TEST(SkssLb, DegenerateSingleColumn) {
+  run_case<std::int64_t>(777, 1, /*tile_w=*/64, /*workers=*/4, 12);
+}
+
+TEST(SkssLb, RectangularRaggedBothAxes) {
+  run_case<std::int64_t>(193, 517, /*tile_w=*/100, /*workers=*/3, 13);
+}
+
+TEST(SkssLb, TileWiderThanMatrix) {
+  run_case<std::int64_t>(20, 30, /*tile_w=*/256, /*workers=*/2, 14);
+}
+
+TEST(SkssLb, WorkersExceedingPoolAndTiles) {
+  // opt.workers > pool.size() and > tile count: surplus worker invocations
+  // must drain the empty counter and exit without deadlock.
+  const auto input = Matrix<std::int64_t>::random(64, 64, 15, 0, 9);
+  Matrix<std::int64_t> got(64, 64);
+  sathost::ThreadPool pool(2);
+  sathost::SkssLbOptions opt;
+  opt.tile_w = 32;
+  opt.workers = 16;
+  sathost::sat_skss_lb<std::int64_t>(pool, input.view(), got.view(), opt);
+  expect_sat_equal(input, got);
+}
+
+TEST(SkssLb, EmptyMatrixIsNoop) {
+  sathost::ThreadPool pool(2);
+  Matrix<std::int64_t> input(0, 0), got(0, 0);
+  sathost::sat_skss_lb<std::int64_t>(pool, input.view(), got.view(), {});
+}
+
+// Flag-protocol stress: randomized stalls injected after each tile claim
+// force deep look-back walks and every waiter/publisher interleaving the
+// scheduler will give us. TSan-friendly: all cross-thread traffic goes
+// through the engine's atomics, and the stall duration is thread-local.
+TEST(SkssLb, StressRandomStalls) {
+  const auto input = Matrix<std::int64_t>::random(300, 300, 99, 0, 9);
+  Matrix<std::int64_t> ref(300, 300);
+  sathost::sat_sequential<std::int64_t>(input.view(), ref.view());
+  sathost::ThreadPool pool(4);
+  for (std::uint64_t round = 0; round < 5; ++round) {
+    Matrix<std::int64_t> got(300, 300);
+    std::atomic<std::uint64_t> mix{round * 7919 + 1};
+    sathost::SkssLbOptions opt;
+    opt.tile_w = 32;
+    opt.workers = 4;
+    opt.tile_hook = [&](std::size_t serial) {
+      // Cheap thread-agnostic PRNG: stall ~every third claim for 0–200 µs.
+      std::uint64_t x = mix.fetch_add(serial + 0x9e3779b9,
+                                      std::memory_order_relaxed);
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdULL;
+      x ^= x >> 33;
+      if (x % 3 == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(x % 200));
+    };
+    sathost::sat_skss_lb<std::int64_t>(pool, input.view(), got.view(), opt);
+    ASSERT_EQ(got, ref) << "round " << round;
+  }
+}
+
+TEST(SkssLb, PublishesLookbackMetrics) {
+  obs::Registry reg;
+  const auto input = Matrix<std::int64_t>::random(256, 256, 5, 0, 9);
+  Matrix<std::int64_t> got(256, 256);
+  sathost::ThreadPool pool(2);
+  sathost::SkssLbOptions opt;
+  opt.tile_w = 64;
+  opt.workers = 2;
+  opt.metrics = &reg;
+  sathost::sat_skss_lb<std::int64_t>(pool, input.view(), got.view(), opt);
+  expect_sat_equal(input, got);
+#if SATLIB_OBS_ENABLED
+  const obs::Snapshot snap = reg.snapshot();
+  bool saw_tiles = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "host.lookback.tiles_retired") {
+      saw_tiles = true;
+      EXPECT_EQ(value, 16u);  // (256/64)^2 tiles, each retired once
+    }
+  }
+  EXPECT_TRUE(saw_tiles);
+  const obs::HistogramSnapshot* depth =
+      snap.histogram("host.lookback.depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_GT(depth->count, 0u);
+#endif
+}
+
+TEST(SkssLb, EmitsPerTileTraceSpans) {
+  obs::TraceSink sink;
+  const auto input = Matrix<std::int64_t>::random(128, 128, 6, 0, 9);
+  Matrix<std::int64_t> got(128, 128);
+  sathost::ThreadPool pool(2);
+  sathost::SkssLbOptions opt;
+  opt.tile_w = 32;
+  opt.trace = &sink;
+  sathost::sat_skss_lb<std::int64_t>(pool, input.view(), got.view(), opt);
+  expect_sat_equal(input, got);
+#if SATLIB_OBS_ENABLED
+  // One complete span per tile plus the process-name metadata event.
+  EXPECT_GE(sink.event_count(), (128 / 32) * (128 / 32));
+#endif
+}
+
+TEST(RunPersistent, InvokesEveryWorkerIndexOnce) {
+  sathost::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(9);
+  for (auto& h : hits) h.store(0);
+  pool.run_persistent(9, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "worker " << i;
+}
+
+TEST(RunPersistent, ZeroMeansPoolSize) {
+  sathost::ThreadPool pool(3);
+  std::atomic<std::size_t> calls{0};
+  pool.run_persistent(0, [&](std::size_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(calls.load(), pool.size());
+}
+
+TEST(RunPersistent, WorkersCanBlockOnEachOther) {
+  // Two persistent workers rendezvous through an atomic — impossible under
+  // parallel_for semantics only if the pool serialized them; run_persistent
+  // with workers ≤ pool.size() must run them concurrently.
+  sathost::ThreadPool pool(2);
+  std::atomic<int> stage{0};
+  pool.run_persistent(2, [&](std::size_t i) {
+    stage.fetch_add(1, std::memory_order_acq_rel);
+    while (stage.load(std::memory_order_acquire) < 2)
+      std::this_thread::yield();
+    (void)i;
+  });
+  EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(RunPersistent, ReusableAfterBatchesAndParallelFor) {
+  sathost::ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(10, [&](std::size_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  pool.run_persistent(5, [&](std::size_t) {
+    total.fetch_add(10, std::memory_order_relaxed);
+  });
+  pool.parallel_for(4, [&](std::size_t) {
+    total.fetch_add(100, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 10 + 50 + 400u);
+}
+
+}  // namespace

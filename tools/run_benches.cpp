@@ -19,6 +19,7 @@
 #include "host/sat_cpu.hpp"
 #include "host/sat_parallel.hpp"
 #include "host/sat_simd.hpp"
+#include "host/sat_skss_lb.hpp"
 #include "host/sat_wavefront.hpp"
 #include "host/thread_pool.hpp"
 #include "model/table3.hpp"
@@ -101,6 +102,57 @@ std::vector<Record> run_host_benches(bool smoke) {
           [&] { sathost::sat_wavefront<float>(pool, src, dst, 128); }, &reg));
       pool.set_obs(nullptr, nullptr);
     }
+    // The paper's 1R1W-SKSS-LB on the host. The primary row runs the
+    // engine's auto tile width (worker-count-scaled) and carries the
+    // look-back metrics snapshot; the fixed-W sweep rows bracket the
+    // tile-size tradeoff (per-tile dispatch+flag overhead and lost access
+    // locality at small W vs. parallel slack at large W).
+    {
+      obs::Registry reg;
+      sathost::SkssLbOptions opt;
+      opt.metrics = &reg;
+      out.push_back(time_host(
+          "skss_lb", n, smoke,
+          [&] { sathost::sat_skss_lb<float>(pool, src, dst, opt); }, &reg));
+    }
+    for (std::size_t w : {std::size_t{64}, std::size_t{128}, std::size_t{256}}) {
+      obs::Registry reg;
+      sathost::SkssLbOptions opt;
+      opt.tile_w = w;
+      opt.metrics = &reg;
+      out.push_back(time_host(
+          "skss_lb_w" + std::to_string(w), n, smoke,
+          [&] { sathost::sat_skss_lb<float>(pool, src, dst, opt); }, &reg));
+    }
+    if (!smoke && n >= 4096) {
+      // Worker-count scaling rows (auto W): on a multicore bench machine
+      // these document the 1 → 2 → 4 speedup; on a 1-core box they document
+      // oversubscription overhead instead.
+      for (std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        sathost::ThreadPool tpool(t);
+        sathost::SkssLbOptions opt;
+        out.push_back(time_host("skss_lb_t" + std::to_string(t), n, smoke, [&] {
+          sathost::sat_skss_lb<float>(tpool, src, dst, opt);
+        }));
+      }
+    }
+  }
+  if (!smoke) {
+    // n=8192 head-to-head of the two leading engines only (a full sweep at
+    // 256 MiB/matrix would double the ledger runtime for little signal).
+    const std::size_t n = 8192;
+    const auto a = sat::Matrix<float>::random(n, n, 1, 0.0f, 1.0f);
+    sat::Matrix<float> b(n, n);
+    const auto src = a.view();
+    const auto dst = b.view();
+    out.push_back(time_host(
+        "simd", n, smoke, [&] { sathost::sat_simd<float>(src, dst); }));
+    obs::Registry reg;
+    sathost::SkssLbOptions opt;
+    opt.metrics = &reg;
+    out.push_back(time_host(
+        "skss_lb", n, smoke,
+        [&] { sathost::sat_skss_lb<float>(pool, src, dst, opt); }, &reg));
   }
   return out;
 }

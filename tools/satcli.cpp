@@ -70,6 +70,16 @@ struct ObsRequest {
   }
 };
 
+sat::CpuEngine parse_host_impl(const std::string& name) {
+  if (name == "sequential") return sat::CpuEngine::kSequential;
+  if (name == "simd") return sat::CpuEngine::kSimd;
+  if (name == "parallel") return sat::CpuEngine::kParallel;
+  if (name == "wavefront") return sat::CpuEngine::kWavefront;
+  if (name == "skss_lb") return sat::CpuEngine::kSkssLb;
+  SAT_CHECK_MSG(false, "unknown host engine '" << name << "'");
+  return sat::CpuEngine::kParallel;
+}
+
 satalgo::Algorithm parse_algorithm(const std::string& name) {
   if (name == "duplicate") return satalgo::Algorithm::kDuplicate;
   if (name == "2r2w") return satalgo::Algorithm::k2R2W;
@@ -91,6 +101,15 @@ int mode_compute(const satutil::ArgParser& args) {
   sat::Options opts;
   opts.algorithm = parse_algorithm(args.get("algorithm"));
   opts.tile_w = static_cast<std::size_t>(args.get_int("w"));
+  // --host-impl switches the run to the CPU backend; --tile-width sets the
+  // host tile size (independent of the device --w, which must stay a
+  // multiple of 32).
+  if (const std::string impl = args.get("host-impl"); !impl.empty()) {
+    opts.backend = sat::Backend::kCpu;
+    opts.cpu_engine = parse_host_impl(impl);
+    opts.cpu_tile_w = static_cast<std::size_t>(args.get_int("tile-width"));
+    opts.cpu_threads = static_cast<std::size_t>(args.get_int("threads"));
+  }
   gpusim::ProtocolChecker checker;
   if (args.get_flag("check-protocol")) opts.checker = &checker;
   ObsRequest obs(args);
@@ -98,18 +117,26 @@ int mode_compute(const satutil::ArgParser& args) {
   if (obs.trace_on()) opts.trace = &obs.trace;
   const auto result = sat::compute_sat(input, opts);
   const auto err = sat::validate_sat(input, result.table);
-  std::printf("%s on %zux%zu (padded to %zu-aligned): %s\n",
-              result.stats.algorithm.c_str(), rows, cols,
-              result.stats.padded_n,
-              err ? err->c_str() : "validated against CPU oracle");
+  if (opts.backend == sat::Backend::kCpu) {
+    std::printf("%s on %zux%zu: %s\n", result.stats.algorithm.c_str(), rows,
+                cols, err ? err->c_str() : "validated against CPU oracle");
+  } else {
+    std::printf("%s on %zux%zu (padded to %zu-aligned): %s\n",
+                result.stats.algorithm.c_str(), rows, cols,
+                result.stats.padded_n,
+                err ? err->c_str() : "validated against CPU oracle");
+  }
   if (opts.checker != nullptr)
     std::printf("protocol: %s\n", checker.summary().c_str());
-  std::printf("kernels %zu | threads %s | reads %s | writes %s | model %.4f ms\n",
-              result.stats.kernel_calls,
-              satutil::format_count(result.stats.max_threads).c_str(),
-              satutil::format_count(result.stats.element_reads).c_str(),
-              satutil::format_count(result.stats.element_writes).c_str(),
-              result.stats.critical_path_us / 1e3);
+  if (opts.backend != sat::Backend::kCpu) {
+    std::printf(
+        "kernels %zu | threads %s | reads %s | writes %s | model %.4f ms\n",
+        result.stats.kernel_calls,
+        satutil::format_count(result.stats.max_threads).c_str(),
+        satutil::format_count(result.stats.element_reads).c_str(),
+        satutil::format_count(result.stats.element_writes).c_str(),
+        result.stats.critical_path_us / 1e3);
+  }
   if (!obs.finish()) return 1;
   return err ? 1 : 0;
 }
@@ -224,6 +251,13 @@ int main(int argc, char** argv) {
       .add("algorithm", "skss_lb",
            "duplicate|2r2w|2r2w_opt|2r1w|1r1w|hybrid|skss|skss_lb")
       .add("w", "64", "tile width")
+      .add("host-impl", "",
+           "run on the CPU backend with this engine: "
+           "sequential|simd|parallel|wavefront|skss_lb")
+      .add("tile-width", "0",
+           "host tile width W, 0 = engine default (with --host-impl)")
+      .add("threads", "0",
+           "host worker threads, 0 = hardware concurrency (with --host-impl)")
       .add("seed", "1", "workload seed")
       .add("out", "trace.csv", "output file (trace mode)")
       .add_flag("check-protocol",
