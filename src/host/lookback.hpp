@@ -34,6 +34,40 @@
 
 namespace sathost {
 
+// ── Interleaving-explorer hook layer ────────────────────────────────────
+//
+// tests/test_interleave.cpp drives the engine through every protocol step
+// under a deterministic scheduler: each flag observe/publish and each tile
+// claim funnels through one global hook, so the test can serialize workers
+// and enumerate schedules (see docs/static_analysis.md). Production cost is
+// one predicted null test per protocol step — the same pattern as
+// SkssLbOptions::tile_hook. The pointer is written only while no worker
+// threads are running (before the pool batch is published / after it
+// completes), so a plain pointer is race-free.
+namespace testhook {
+
+class SchedHook {
+ public:
+  virtual ~SchedHook() = default;
+  /// A worker is about to claim the next tile serial (before the counter
+  /// fetch_add, so claim order is schedule-controlled).
+  virtual void on_claim() = 0;
+  /// A worker just loaded flag `idx` of StatusFlags `arr` and observed
+  /// `seen`; `want` is the state it is waiting for (0 for a non-blocking
+  /// peek). Called after the load, before the worker acts on the snapshot.
+  virtual void on_observe(const void* arr, std::size_t idx,
+                          std::uint8_t seen, std::uint8_t want) = 0;
+  /// A worker is about to release-store `state` into flag `idx` of `arr`.
+  virtual void on_publish(const void* arr, std::size_t idx,
+                          std::uint8_t state) = 0;
+  /// A worker body finished (it will hit no further scheduling points).
+  virtual void on_exit() = 0;
+};
+
+inline SchedHook* g_sched_hook = nullptr;  ///< test-only; null in production
+
+}  // namespace testhook
+
 // Host mirrors of the device status encodings (sat/aux_arrays.hpp). Kept as
 // distinct constants so src/host/ does not depend on the simulator layers.
 namespace hflag {
@@ -74,19 +108,30 @@ class StatusFlags {
   explicit StatusFlags(std::size_t count)
       : flags_(std::make_unique<std::atomic<std::uint8_t>[]>(count)) {
     for (std::size_t i = 0; i < count; ++i)
+      // satlint: allow(flag-store-ordering) -- constructor zero-fill; the
+      // array is published to workers by the pool's batch mutex, so a
+      // release here would order nothing a waiter could miss.
       flags_[i].store(0, std::memory_order_relaxed);
   }
 
   /// Releases `state` for tile `idx`. All data the state guards must be
   /// written before this call.
   void publish(std::size_t idx, std::uint8_t state) noexcept {
+    // satlint: allow(flag-load-ordering) -- debug self-check of the tile's
+    // own monotonicity; only the claiming worker stores this slot, so the
+    // relaxed read synchronizes with nothing by design.
     SAT_DCHECK(state > flags_[idx].load(std::memory_order_relaxed));
+    if (testhook::g_sched_hook != nullptr)
+      testhook::g_sched_hook->on_publish(this, idx, state);
     flags_[idx].store(state, std::memory_order_release);
   }
 
   /// Non-blocking snapshot (acquire): the returned state's data is visible.
   [[nodiscard]] std::uint8_t peek(std::size_t idx) const noexcept {
-    return flags_[idx].load(std::memory_order_acquire);
+    const std::uint8_t s = flags_[idx].load(std::memory_order_acquire);
+    if (testhook::g_sched_hook != nullptr)
+      testhook::g_sched_hook->on_observe(this, idx, s, 0);
+    return s;
   }
 
   /// Blocks until tile `idx` reaches at least `want`; returns the observed
@@ -97,12 +142,16 @@ class StatusFlags {
   std::uint8_t wait_at_least(std::size_t idx, std::uint8_t want,
                              const LookbackObs& obs) const noexcept {
     std::uint8_t s = flags_[idx].load(std::memory_order_acquire);
+    if (testhook::g_sched_hook != nullptr)
+      testhook::g_sched_hook->on_observe(this, idx, s, want);
     if (s >= want) return s;
     const auto t0 = std::chrono::steady_clock::now();
     satutil::SpinBackoff backoff;
     do {
       backoff.pause();
       s = flags_[idx].load(std::memory_order_acquire);
+      if (testhook::g_sched_hook != nullptr)
+        testhook::g_sched_hook->on_observe(this, idx, s, want);
     } while (s < want);
 #if SATLIB_OBS_ENABLED
     if (obs.flag_wait_us != nullptr) {

@@ -145,6 +145,10 @@ void sat_skss_lb(ThreadPool& pool, satutil::Span2d<const T> src,
   const satalgo::TileGrid grid((rows + w - 1) / w * w, (cols + w - 1) / w * w,
                                w);
   LookbackAux<T> aux(grid.count(), w);
+  // satlint: allow(atomic-whitelist) -- the diagonal-major self-assignment
+  // counter. The claim carries no payload (all tile data flows through
+  // StatusFlags release/acquire pairs), so a bare relaxed counter is the
+  // whole protocol here; see the deadlock-freedom note above.
   std::atomic<std::size_t> work_counter{0};
 
   LookbackObs obs;
@@ -172,6 +176,7 @@ void sat_skss_lb(ThreadPool& pool, satutil::Span2d<const T> src,
     for (;;) {
       // Self-assignment: the atomic grab hands tiles out in serial order,
       // the host form of the paper's atomicAdd work counter.
+      if (testhook::g_sched_hook != nullptr) testhook::g_sched_hook->on_claim();
       const std::size_t serial =
           work_counter.fetch_add(1, std::memory_order_relaxed);
       if (serial >= grid.count()) break;
@@ -387,6 +392,7 @@ void sat_skss_lb(ThreadPool& pool, satutil::Span2d<const T> src,
 #endif
     }
     satsimd::store_fence();
+    if (testhook::g_sched_hook != nullptr) testhook::g_sched_hook->on_exit();
   };
 
   pool.run_persistent(nworkers, worker);

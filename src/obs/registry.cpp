@@ -7,6 +7,9 @@
 namespace obs {
 
 std::size_t this_thread_shard() noexcept {
+  // satlint: allow(atomic-whitelist) -- thread→shard assignment ticket,
+  // part of the audited registry pair (registry.hpp is whitelisted); the
+  // counter orders nothing, each thread only needs a distinct residue.
   static std::atomic<std::size_t> next{0};
   thread_local const std::size_t mine =
       next.fetch_add(1, std::memory_order_relaxed) % kShards;

@@ -45,6 +45,11 @@ class SpinBackoff {
   /// Iterations taken so far (spin burst + yields).
   [[nodiscard]] std::size_t spins() const noexcept { return spins_; }
 
+  /// Restores the spin burst for the next wait. A waiter that just saw a
+  /// flag advance is likely one store away from the next one — reuse the
+  /// cheap pause phase instead of carrying over the yield regime.
+  void reset() noexcept { spins_ = 0; }
+
  private:
   std::size_t budget_;
   std::size_t spins_ = 0;

@@ -2,14 +2,16 @@
 """Intra-repo markdown link checker (stdlib only; CI `docs-check` job).
 
 Scans the repo's markdown (README.md, DESIGN.md, EXPERIMENTS.md, docs/,
-and any other tracked *.md at the top level) for inline links and
-validates every *intra-repo* target:
+tools/ — recursively, for pages like the satlint fixture README — and any
+other tracked *.md at the top level) for inline links and validates every
+*intra-repo* target:
 
   * relative file links must point at an existing file;
   * `#fragment` parts (own-page or cross-page) must match a heading
     anchor, computed the GitHub way (lowercase, strip punctuation,
     spaces to dashes);
-  * every docs/*.md file must be reachable from README.md's link graph.
+  * every docs/*.md and tools/**/*.md file must be reachable from
+    README.md's link graph.
 
 External links (http/https/mailto) are not fetched — CI must not depend
 on the network. Exit status is the number of broken links.
@@ -41,7 +43,11 @@ def github_anchor(title: str) -> str:
 
 
 def markdown_files(root: Path) -> list[Path]:
-    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    files = (
+        sorted(root.glob("*.md"))
+        + sorted((root / "docs").glob("*.md"))
+        + sorted((root / "tools").rglob("*.md"))
+    )
     return [f for f in files if f.is_file()]
 
 
@@ -112,7 +118,9 @@ def main() -> int:
                         f"{where}: no heading '#{frag}' in '{path_part}'"
                     )
 
-    # Reachability: every docs/*.md must be linked from the README graph.
+    # Reachability: every docs/*.md and tools/**/*.md must be linked from
+    # the README graph (directly or through another reachable page) — a doc
+    # nobody can navigate to is as good as deleted.
     readme = root / "README.md"
     if readme.exists():
         reachable: set[Path] = set()
@@ -128,8 +136,10 @@ def main() -> int:
                 dest = (f.parent / target.partition("#")[0]).resolve()
                 if dest.suffix == ".md" and dest.exists():
                     frontier.append(dest)
+        tools_dir = root / "tools"
         for f in files:
-            if f.parent == root / "docs" and f not in reachable:
+            covered = f.parent == root / "docs" or tools_dir in f.parents
+            if covered and f not in reachable:
                 errors.append(
                     f"{f.relative_to(root)}: not reachable from README.md"
                 )

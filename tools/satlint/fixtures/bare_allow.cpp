@@ -1,0 +1,18 @@
+// satlint fixture: an allow directive with no rationale.  The suppression
+// still applies (the relaxed store is not reported), but the directive
+// itself is a violation — every allow must say *why*, or the whitelist
+// rots into noise.
+//
+// satlint-expect: allow-without-reason
+// satlint-expect: atomic-whitelist
+#include <atomic>
+#include <cstdint>
+
+struct LazyAllow {
+  void publish(std::uint8_t state) noexcept {
+    // satlint: allow(flag-store-ordering)
+    flag_.store(state, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint8_t> flag_{0};
+};

@@ -1,0 +1,21 @@
+// satlint fixture: a cross-thread flag wait that loads with
+// memory_order_relaxed.  The waiter may leave the loop having synchronized
+// with nothing: the guarded tile data can still be invisible.
+//
+// satlint-expect: flag-load-ordering
+// satlint-expect: atomic-whitelist
+#include <atomic>
+#include <cstdint>
+
+struct BrokenWaiter {
+  std::uint8_t wait_at_least(std::size_t idx, std::uint8_t want) noexcept {
+    std::uint8_t s;
+    do {
+      // BUG: relaxed load — observing the flag does not acquire the data.
+      s = status_[idx].load(std::memory_order_relaxed);
+    } while (s < want);
+    return s;
+  }
+
+  std::atomic<std::uint8_t> status_[64];
+};

@@ -1,0 +1,18 @@
+// satlint fixture: a flag publish with memory_order_relaxed.  On x86 this
+// passes every runtime test (TSO hides it); on ARM the waiter can observe
+// the flag before the data it guards.  satlint must reject it statically.
+//
+// satlint-expect: flag-store-ordering
+// satlint-expect: atomic-whitelist
+#include <atomic>
+#include <cstdint>
+
+struct BrokenStatusFlags {
+  void publish(std::size_t idx, std::uint8_t state) noexcept {
+    // BUG: the release is missing — this store can be reordered before the
+    // stores of the data the flag publishes.
+    flags_[idx].store(state, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint8_t> flags_[64];
+};

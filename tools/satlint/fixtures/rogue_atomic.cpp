@@ -1,0 +1,18 @@
+// satlint fixture: a raw std::atomic in a file outside the audited
+// whitelist.  The orderings here are even correct — the violation is the
+// location: lock-free code must live in the audited files (or carry an
+// allow with a rationale) so the concurrency surface stays reviewable.
+//
+// satlint-expect: atomic-whitelist
+#include <atomic>
+#include <cstddef>
+
+class RogueQueue {
+ public:
+  std::size_t claim() noexcept {
+    return cursor_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> cursor_{0};
+};

@@ -1,0 +1,29 @@
+// satlint fixture: a look-back walk whose predecessor lambda steps toward
+// *larger* indices.  Every look-back dependency must point at a strictly
+// smaller serial sigma — claimed-before implies published-eventually, which
+// is the whole deadlock-freedom argument on a finite pool.  Walking forward
+// waits on tiles nobody has claimed yet.
+//
+// satlint-expect: sigma-direction
+#include <cstddef>
+#include <cstdint>
+
+namespace sathost {
+struct StatusFlags;
+struct LookbackObs;
+template <class T, class PredIdx>
+std::size_t lookback_accumulate(const StatusFlags&, const T*, const T*,
+                                std::size_t, std::size_t, std::size_t, T*,
+                                std::uint8_t, std::uint8_t,
+                                const LookbackObs&, PredIdx);
+}  // namespace sathost
+
+void broken_walk(const sathost::StatusFlags& status, const float* local,
+                 const float* global, std::size_t w, std::size_t tj,
+                 std::size_t p, float* out, const sathost::LookbackObs& obs,
+                 std::size_t ti, std::size_t cols_tiles) {
+  // BUG: `tj + 1 + k` walks right, toward tiles with larger sigma.
+  sathost::lookback_accumulate(
+      status, local, global, w, tj, p, out, 1, 2, obs,
+      [=](std::size_t k) { return ti * cols_tiles + (tj + 1 + k); });
+}

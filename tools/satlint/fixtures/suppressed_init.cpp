@@ -1,0 +1,23 @@
+// satlint fixture: the suppression mechanism.  The relaxed flag store and
+// the out-of-whitelist atomic below carry allow directives with rationales
+// and must NOT be reported; the volatile further down has no allow and
+// must still fire.  The self-test checks the fired set matches exactly.
+//
+// satlint-expect: volatile-sync
+#include <atomic>
+#include <cstdint>
+
+struct InitOnlyFlags {
+  explicit InitOnlyFlags(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i)
+      // satlint: allow(flag-store-ordering) -- constructor init before any
+      // thread can observe the array; release would order nothing.
+      flags_[i].store(0, std::memory_order_relaxed);
+  }
+
+  // satlint: allow(atomic-whitelist) -- fixture stand-in for an audited
+  // status array; real code would live in src/host/lookback.hpp.
+  std::atomic<std::uint8_t> flags_[64];
+};
+
+volatile int done = 0;  // BUG: still reported — no allow, no rationale.

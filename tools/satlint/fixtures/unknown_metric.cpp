@@ -1,0 +1,19 @@
+// satlint fixture: an obs metric resolved by a name that is not in the
+// docs/observability.md catalogue table.  Every shipped name must have a
+// catalogue row (name, type, meaning) in the same change, so the dashboard
+// reference can never silently go stale.
+//
+// satlint-expect: unknown-metric
+
+namespace obs {
+class Counter;
+class Registry {
+ public:
+  Counter& counter(const char* name);
+};
+}  // namespace obs
+
+void instrument(obs::Registry& reg) {
+  // BUG: "host.lookback.bogus_total" has no catalogue row.
+  reg.counter("host.lookback.bogus_total");
+}

@@ -1,0 +1,18 @@
+// satlint fixture: volatile used as a synchronization primitive.  volatile
+// orders nothing and is not atomic; this spin "works" only by accident of
+// compiler and ISA.  (An `asm volatile` clobber — as in util/backoff.hpp —
+// is fine and must not fire.)
+//
+// satlint-expect: volatile-sync
+
+namespace {
+
+volatile bool ready = false;  // BUG: not a flag, just a compiler pessimization
+
+int consume(const int* data) {
+  while (!ready) {
+  }
+  return data[0];
+}
+
+}  // namespace
