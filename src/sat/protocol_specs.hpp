@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <iterator>
 #include <vector>
 
 #include "gpusim/flags.hpp"
@@ -36,19 +38,41 @@ inline std::vector<std::size_t> batch_serial_map(const TileGrid& grid,
   return serials;
 }
 
+// ── 1R1W-SKSS-LB state machines as data ─────────────────────────────────
+//
+// Single source of truth for the protocol's flag lattices: consumed by
+// expect_skss_lb_protocol below, and parsed verbatim by the code↔model
+// conformance extractor (tools/satmc/conformance.py), which diffs these
+// tables against the satmc model checker's declaration. Keep each
+// transition on its own line — the extractor reads `{from, to}` pairs.
+
+inline constexpr gpusim::ProtocolChecker::Transition kSkssLbTransitionsR[] = {
+    {0, rflag::kLrs},
+    {rflag::kLrs, rflag::kGrs},
+    {rflag::kGrs, rflag::kGls},
+    {rflag::kGls, rflag::kGs},
+};
+inline constexpr std::uint8_t kSkssLbTerminalR = rflag::kGs;
+
+inline constexpr gpusim::ProtocolChecker::Transition kSkssLbTransitionsC[] = {
+    {0, cflag::kLcs},
+    {cflag::kLcs, cflag::kGcs},
+};
+inline constexpr std::uint8_t kSkssLbTerminalC = cflag::kGcs;
+
 /// The full 1R1W-SKSS-LB state machines: R walks 0→LRS→GRS→GLS→GS, C walks
 /// 0→LCS→GCS; every tile must end at the terminal state exactly once.
 inline void expect_skss_lb_protocol(gpusim::ProtocolChecker& checker,
                                     const gpusim::StatusArray& r_status,
                                     const gpusim::StatusArray& c_status) {
-  checker.expect_transitions(r_status,
-                             {{0, rflag::kLrs},
-                              {rflag::kLrs, rflag::kGrs},
-                              {rflag::kGrs, rflag::kGls},
-                              {rflag::kGls, rflag::kGs}},
-                             rflag::kGs);
   checker.expect_transitions(
-      c_status, {{0, cflag::kLcs}, {cflag::kLcs, cflag::kGcs}}, cflag::kGcs);
+      r_status,
+      {std::begin(kSkssLbTransitionsR), std::end(kSkssLbTransitionsR)},
+      kSkssLbTerminalR);
+  checker.expect_transitions(
+      c_status,
+      {std::begin(kSkssLbTransitionsC), std::end(kSkssLbTransitionsC)},
+      kSkssLbTerminalC);
 }
 
 /// Plain SKSS publishes only the final per-tile GRS state on R (one shot).

@@ -1,0 +1,308 @@
+// Deterministic scheduler for the host 1R1W-SKSS-LB engine, factored out
+// of test_interleave.cpp so other tests (test_satmc_replay.cpp) can drive
+// the same hook layer.
+//
+// Every protocol step of the engine — tile claim, flag observe, flag
+// publish — funnels through sathost::testhook::g_sched_hook
+// (src/host/lookback.hpp); ScheduleExplorer parks every worker at its next
+// step and lets a decide() callback pick which one advances. Execution is
+// fully serialized, so a run's behavior is a pure function of the decision
+// sequence. Deadlock detection is *precise*: a parked waiter is blocked
+// iff the shadow flag value (maintained from granted publishes) is below
+// its threshold, so "every live worker blocked" is exactly "no schedule
+// can make progress".
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "host/lookback.hpp"
+
+namespace sched {
+
+class ScheduleExplorer : public sathost::testhook::SchedHook {
+ public:
+  enum class Kind { kClaim, kObserve, kPublish };
+
+  struct Point {
+    Kind kind = Kind::kClaim;
+    const void* arr = nullptr;
+    std::size_t idx = 0;
+    std::uint8_t seen = 0;  // observe: loaded value; publish: state stored
+    std::uint8_t want = 0;  // observe: threshold (0 = non-blocking peek)
+  };
+
+  struct Outcome {
+    bool deadlock = false;
+    bool timeout = false;
+    std::vector<std::uint8_t> choices;  // position within the enabled set
+    std::vector<std::uint8_t> alts;     // enabled-set size at each step
+  };
+
+  /// decide(nalts) returns the chosen position in [0, nalts).
+  using DecideFn = std::function<std::size_t(std::size_t nalts)>;
+
+  /// `expected_workers` worker bodies must register (every body gates at
+  /// its first claim) before the first decision; the driver is the thread
+  /// that constructs the explorer.
+  explicit ScheduleExplorer(std::size_t expected_workers)
+      : expected_(expected_workers), driver_(std::this_thread::get_id()) {}
+
+  // ── hook entry points (worker threads) ──────────────────────────────
+  void on_claim() override { gate({Kind::kClaim, nullptr, 0, 0, 0}); }
+  void on_observe(const void* arr, std::size_t idx, std::uint8_t seen,
+                  std::uint8_t want) override {
+    gate({Kind::kObserve, arr, idx, seen, want});
+  }
+  void on_publish(const void* arr, std::size_t idx,
+                  std::uint8_t state) override {
+    gate({Kind::kPublish, arr, idx, state, 0});
+  }
+  void on_exit() override {
+    std::lock_guard lk(mu_);
+    const auto tid = std::this_thread::get_id();
+    for (std::size_t i = workers_.size(); i-- > 0;) {
+      if (workers_[i].tid == tid && !workers_[i].exited) {
+        workers_[i].exited = true;
+        workers_[i].parked = false;
+        break;
+      }
+    }
+    cv_.notify_all();
+  }
+
+  /// The parked scheduling point of logical worker `i` (valid while the
+  /// driver holds the decision — i.e. inside decide() or after drive()
+  /// returned with a deadlock).
+  [[nodiscard]] Point point_of(std::size_t i) const { return workers_[i].pt; }
+
+  /// Snapshot of the blocked waits currently parking live workers
+  /// (meaningful when drive() reported a deadlock).
+  struct ParkedWait {
+    std::size_t worker = 0;
+    const void* arr = nullptr;
+    std::size_t idx = 0;
+    std::uint8_t want = 0;
+  };
+  [[nodiscard]] std::vector<ParkedWait> blocked_waits() {
+    std::lock_guard lk(mu_);
+    std::vector<ParkedWait> out;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const Worker& w = workers_[i];
+      if (!w.exited && w.parked && blocked(w))
+        out.push_back({i, w.pt.arr, w.pt.idx, w.pt.want});
+    }
+    return out;
+  }
+
+  /// Publishes a flag *from the driver* to break a detected deadlock (the
+  /// gate passes the driver thread through) and keeps the shadow state
+  /// coherent so blocked workers become enabled again. Test-only escape
+  /// hatch for seeded-deadlock harness checks.
+  void driver_publish(sathost::StatusFlags& flags, std::size_t idx,
+                      std::uint8_t state) {
+    flags.publish(idx, state);
+    std::lock_guard lk(mu_);
+    std::uint8_t& s = shadow_[{&flags, idx}];
+    s = std::max(s, state);
+  }
+
+  /// Runs the schedule until every expected worker body has exited.
+  /// `on_deadlock`, when set, is invoked (driver thread, lock dropped) on
+  /// detection and the schedule continues; when empty, detection aborts
+  /// the run by letting every thread free-run.
+  Outcome drive(const DecideFn& decide,
+                const std::function<void()>& on_deadlock = {}) {
+    Outcome out;
+    std::unique_lock lk(mu_);
+    for (;;) {
+      const bool ready = cv_.wait_for(lk, std::chrono::seconds(60), [&] {
+        return grant_ < 0 && workers_.size() >= expected_ &&
+               all_live_parked();
+      });
+      if (!ready) {
+        out.timeout = true;
+        free_run_ = true;
+        cv_.notify_all();
+        return out;
+      }
+      std::size_t live = 0;
+      for (const Worker& w : workers_)
+        if (!w.exited) ++live;
+      if (live == 0 && workers_.size() >= expected_) break;
+
+      std::vector<std::size_t> enabled;
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        const Worker& w = workers_[i];
+        if (!w.exited && w.parked && !blocked(w)) enabled.push_back(i);
+      }
+      if (enabled.empty()) {
+        out.deadlock = true;
+        if (!on_deadlock) {
+          free_run_ = true;
+          cv_.notify_all();
+          return out;
+        }
+        lk.unlock();
+        on_deadlock();
+        lk.lock();
+        continue;  // shadow changed; re-derive the enabled set
+      }
+
+      const std::size_t c = decide(enabled.size());
+      out.choices.push_back(static_cast<std::uint8_t>(c));
+      out.alts.push_back(static_cast<std::uint8_t>(enabled.size()));
+      const std::size_t target = enabled[c];
+      const Point& p = workers_[target].pt;
+      if (p.kind == Kind::kPublish) {
+        // The store happens before the worker's next gate; mirroring it at
+        // grant time keeps blocked() exact for the next decision.
+        std::uint8_t& s = shadow_[{p.arr, p.idx}];
+        s = std::max(s, p.seen);
+      }
+      grant_ = static_cast<std::ptrdiff_t>(target);
+      cv_.notify_all();
+    }
+    return out;
+  }
+
+  /// Variant of drive() whose decide() sees the enabled *worker indices*
+  /// (registration order), so a caller can follow a schedule that names
+  /// workers rather than positions.
+  Outcome drive_by_worker(
+      const std::function<std::size_t(const std::vector<std::size_t>&)>&
+          pick,
+      const std::function<void()>& on_deadlock = {}) {
+    std::vector<std::size_t> enabled_snapshot;
+    return drive(
+        [&](std::size_t nalts) {
+          // Rebuild the enabled set exactly as drive() did (the lock is
+          // held by drive() while decide runs, so this view is coherent).
+          enabled_snapshot.clear();
+          for (std::size_t i = 0; i < workers_.size(); ++i) {
+            const Worker& w = workers_[i];
+            if (!w.exited && w.parked && !blocked(w))
+              enabled_snapshot.push_back(i);
+          }
+          (void)nalts;
+          const std::size_t target = pick(enabled_snapshot);
+          for (std::size_t c = 0; c < enabled_snapshot.size(); ++c)
+            if (enabled_snapshot[c] == target) return c;
+          return std::size_t{0};
+        },
+        on_deadlock);
+  }
+
+ private:
+  struct Worker {
+    std::thread::id tid;
+    Point pt;
+    bool parked = false;
+    bool exited = false;
+  };
+
+  void gate(Point p) {
+    if (std::this_thread::get_id() == driver_) return;
+    std::unique_lock lk(mu_);
+    if (free_run_) return;
+    const std::size_t me = self_locked();
+    workers_[me].pt = p;
+    workers_[me].parked = true;
+    cv_.notify_all();
+    cv_.wait(lk, [&] {
+      return free_run_ || grant_ == static_cast<std::ptrdiff_t>(me);
+    });
+    if (!free_run_) {
+      grant_ = -1;
+      workers_[me].parked = false;
+    }
+  }
+
+  /// Registration is by arrival order; a pool thread whose first body
+  /// exited re-registers as a fresh logical worker on its next body.
+  std::size_t self_locked() {
+    const auto tid = std::this_thread::get_id();
+    for (std::size_t i = workers_.size(); i-- > 0;) {
+      if (workers_[i].tid == tid && !workers_[i].exited) return i;
+    }
+    workers_.push_back(Worker{tid, Point{}, false, false});
+    return workers_.size() - 1;
+  }
+
+  bool all_live_parked() const {
+    for (const Worker& w : workers_)
+      if (!w.exited && !w.parked) return false;
+    return true;
+  }
+
+  /// Exact: flags start at 0, only granted publishes raise them, and the
+  /// waiter re-loads after every grant, so shadow < want means no decision
+  /// can unblock this worker except granting a publisher.
+  bool blocked(const Worker& w) const {
+    if (w.pt.kind != Kind::kObserve || w.pt.want == 0) return false;
+    const auto it = shadow_.find({w.pt.arr, w.pt.idx});
+    const std::uint8_t cur = it == shadow_.end() ? 0 : it->second;
+    return cur < w.pt.want;
+  }
+
+  const std::size_t expected_;
+  const std::thread::id driver_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Worker> workers_;
+  std::map<std::pair<const void*, std::size_t>, std::uint8_t> shadow_;
+  std::ptrdiff_t grant_ = -1;
+  bool free_run_ = false;
+};
+
+/// Bounded-exhaustive DFS over scheduler decisions: explores every
+/// decision sequence that differs within the first `branch_cap` branching
+/// steps (steps with >1 enabled worker); beyond the cap the schedule
+/// follows the first enabled worker.
+struct DfsDriver {
+  std::vector<std::size_t> prefix;
+  std::vector<std::pair<std::size_t, std::size_t>> trace;  // (choice, alts)
+  std::size_t branch_cap;
+
+  explicit DfsDriver(std::size_t cap) : branch_cap(cap) {}
+
+  std::size_t decide(std::size_t nalts) {
+    const std::size_t step = trace.size();
+    const std::size_t c =
+        step < prefix.size() ? std::min(prefix[step], nalts - 1) : 0;
+    trace.emplace_back(c, nalts);
+    return c;
+  }
+
+  /// Advances to the next unexplored decision sequence; false when the
+  /// bounded tree is exhausted.
+  bool advance() {
+    std::size_t branch_ord = 0;
+    std::ptrdiff_t pivot = -1;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (trace[i].second > 1) {
+        if (branch_ord < branch_cap && trace[i].first + 1 < trace[i].second)
+          pivot = static_cast<std::ptrdiff_t>(i);
+        ++branch_ord;
+      }
+    }
+    if (pivot < 0) return false;
+    prefix.clear();
+    for (std::ptrdiff_t i = 0; i < pivot; ++i)
+      prefix.push_back(trace[static_cast<std::size_t>(i)].first);
+    prefix.push_back(trace[static_cast<std::size_t>(pivot)].first + 1);
+    trace.clear();
+    return true;
+  }
+};
+
+}  // namespace sched

@@ -1,0 +1,23 @@
+// Broken on purpose: bare load()/store() on a flag atomic. Both default to
+// seq_cst, which hides the release/acquire pairing from the ordering rules
+// (and hides real fence cost on weakly ordered targets) — the
+// memory-order-explicit rule requires every flag access to name its order.
+// satlint-expect: memory-order-explicit
+// satlint-expect: atomic-whitelist
+#include <atomic>
+
+namespace fixture {
+
+struct TileStatus {
+  std::atomic<unsigned char> flag_slot{0};
+
+  void publish_terminal() {
+    flag_slot.store(4);  // defaulted seq_cst: the publish order is invisible
+  }
+
+  [[nodiscard]] unsigned char peek() const {
+    return flag_slot.load();  // defaulted seq_cst: ditto for the observe
+  }
+};
+
+}  // namespace fixture

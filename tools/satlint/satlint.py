@@ -31,6 +31,12 @@ Rules
                         smaller indices (subtraction only): a walk toward
                         larger sigma can wait on a tile that is claimed
                         *after* the waiter, which deadlocks a finite pool.
+  memory-order-explicit bare `load()` / `store()` (defaulted seq_cst) on the
+                        audited flag atomics is an error: every access must
+                        name its order, so the release/acquire pairing stays
+                        visible in the code and auditable by the rules above
+                        (seq_cst-by-omission also hides real cost on weakly
+                        ordered targets).
 
 Suppression
 -----------
@@ -89,6 +95,7 @@ RULES = {
     "volatile-sync": "volatile used where synchronization is required",
     "unknown-metric": "metric name missing from docs/observability.md catalogue",
     "sigma-direction": "look-back walk must move toward smaller sigma",
+    "memory-order-explicit": "flag atomic access must name its memory order",
     "allow-without-reason": "satlint allow directive carries no rationale",
 }
 
@@ -273,6 +280,14 @@ def check_atomic_ops(src: SourceFile) -> list[Violation]:
             op = m.group("op")
             args = _call_args(window, m.end() - 1)
             orders = MEMORY_ORDER.findall(args)
+            if not orders:
+                out.append(Violation(
+                    src.relpath, lineno, "memory-order-explicit",
+                    f"{op}() on flag '{m.group('obj')}' names no memory "
+                    f"order (defaulted seq_cst); the flag protocol's "
+                    f"release/acquire pairing must be explicit at every "
+                    f"access so the ordering rules can audit it"))
+                continue
             if op == "load":
                 bad = [o for o in orders if o not in LOAD_OK]
                 if bad:
@@ -388,8 +403,9 @@ def load_catalogue(root: Path) -> set[str]:
 
 
 def lint_file(path: Path, root: Path, catalogue: set[str]
-              ) -> tuple[list[Violation], list[Violation]]:
-    """Returns (reported, suppressed) violations for one file."""
+              ) -> tuple[list[Violation], list[tuple[Violation, str]]]:
+    """Returns (reported, suppressed) for one file; each suppressed entry
+    pairs the violation with the rationale its allow directive stated."""
     relpath = path.resolve().relative_to(root.resolve()).as_posix()
     src = SourceFile(path, relpath, path.read_text(encoding="utf-8"))
     found: list[Violation] = []
@@ -399,7 +415,8 @@ def lint_file(path: Path, root: Path, catalogue: set[str]
     found += check_metrics(src, catalogue)
     found += check_sigma_direction(src)
     reported = [v for v in found if not src.allowed(v.line, v.rule)]
-    suppressed = [v for v in found if src.allowed(v.line, v.rule)]
+    suppressed = [(v, src.allows[v.line][v.rule]) for v in found
+                  if src.allowed(v.line, v.rule)]
     for lineno in src.bare_allows:
         reported.append(Violation(
             relpath, lineno, "allow-without-reason",
@@ -464,7 +481,7 @@ def main() -> int:
 
     targets = [Path(f) for f in args.files] or default_targets(root)
     all_reported: list[Violation] = []
-    all_suppressed: list[Violation] = []
+    all_suppressed: list[tuple[Violation, str]] = []
     for t in targets:
         if not t.is_file():
             print(f"satlint: no such file: {t}", file=sys.stderr)
@@ -480,13 +497,17 @@ def main() -> int:
         print(f"{v.path}:{v.line}: [{v.rule}] {v.message}", file=human)
 
     if args.json:
+        # Version 2: every diagnostic carries its rule id, and every
+        # suppressed entry carries the rationale its allow directive stated
+        # (so suppression audits don't have to re-read the source).
         report = {
             "tool": "satlint",
-            "version": 1,
+            "version": 2,
             "root": str(root),
             "files_scanned": len(targets),
             "violations": [v._asdict() for v in all_reported],
-            "suppressed": [v._asdict() for v in all_suppressed],
+            "suppressed": [{**v._asdict(), "reason": reason}
+                           for v, reason in all_suppressed],
         }
         payload = json.dumps(report, indent=2)
         if args.json == "-":

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Validate satlint --json reports against tools/satlint/report_schema.json.
+
+Two layers keep the report contract honest (stdlib only — no jsonschema
+dependency, so the validator implements the small schema subset the schema
+file actually uses: type, required, properties, additionalProperties,
+items, enum, minimum, minLength, $ref into #/definitions):
+
+  * `--report FILE` validates one existing report ('-' for stdin).
+  * with no --report, the driver mode runs satlint itself over the fixture
+    corpus (which must exit 1 — it is a deliberately-broken corpus),
+    validates the emitted report, and then checks the semantic contract the
+    schema cannot express: the corpus yields at least one violation, at
+    least one suppressed entry with a non-empty rationale, and every
+    suppressed entry with an *empty* rationale is matched by an
+    allow-without-reason diagnostic in the same file (a bare allow still
+    suppresses, but must be reported as bare).
+  * `--self-test` feeds the validator known-bad documents and requires each
+    to be rejected — the test suite for the validator itself.
+
+Exit code: 0 valid, 1 invalid, 2 internal/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+
+def _resolve_ref(schema: dict, root: dict) -> dict:
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref: {ref}")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def validate(doc, schema: dict, root: dict, where: str = "$") -> list[str]:
+    """Returns a list of human-readable schema violations (empty = valid)."""
+    errs: list[str] = []
+    schema = _resolve_ref(schema, root)
+
+    want = schema.get("type")
+    if want is not None:
+        pytype = _TYPES[want]
+        # bool is an int subclass in Python; don't let true pass as integer.
+        ok = isinstance(doc, pytype) and not (
+            want in ("integer", "number") and isinstance(doc, bool))
+        if not ok:
+            errs.append(f"{where}: expected {want}, "
+                        f"got {type(doc).__name__}")
+            return errs
+
+    if "enum" in schema and doc not in schema["enum"]:
+        errs.append(f"{where}: {doc!r} not in enum {schema['enum']}")
+    if "minimum" in schema and isinstance(doc, (int, float)) \
+            and doc < schema["minimum"]:
+        errs.append(f"{where}: {doc} < minimum {schema['minimum']}")
+    if "minLength" in schema and isinstance(doc, str) \
+            and len(doc) < schema["minLength"]:
+        errs.append(f"{where}: string shorter than {schema['minLength']}")
+
+    if isinstance(doc, dict):
+        for key in schema.get("required", []):
+            if key not in doc:
+                errs.append(f"{where}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            for key in doc:
+                if key not in props:
+                    errs.append(f"{where}: unexpected key '{key}'")
+        for key, sub in props.items():
+            if key in doc:
+                errs.extend(validate(doc[key], sub, root, f"{where}.{key}"))
+    if isinstance(doc, list) and "items" in schema:
+        for i, item in enumerate(doc):
+            errs.extend(validate(item, schema["items"], root,
+                                 f"{where}[{i}]"))
+    return errs
+
+
+def check_semantics(report: dict) -> list[str]:
+    """Contract checks the schema language cannot express."""
+    errs: list[str] = []
+    if not report["violations"]:
+        errs.append("fixture corpus produced no violations at all")
+    reasoned = [s for s in report["suppressed"] if s["reason"]]
+    if not reasoned:
+        errs.append("no suppressed entry carries a rationale "
+                    "(suppressed_init.cpp should provide two)")
+    bare_files = {v["path"] for v in report["violations"]
+                  if v["rule"] == "allow-without-reason"}
+    for s in report["suppressed"]:
+        if not s["reason"] and s["path"] not in bare_files:
+            errs.append(f"{s['path']}:{s['line']}: suppressed with empty "
+                        f"reason but no allow-without-reason diagnostic "
+                        f"in that file")
+    return errs
+
+
+def run_driver(root: Path, schema: dict) -> int:
+    fixtures = sorted((root / "tools" / "satlint" / "fixtures").glob("*.cpp"))
+    if not fixtures:
+        print("validate_report: no fixtures found", file=sys.stderr)
+        return 2
+    cmd = [sys.executable, str(root / "tools" / "satlint" / "satlint.py"),
+           "--root", str(root), "--json", "-"] + [str(f) for f in fixtures]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 1:
+        print(f"validate_report: satlint on the broken corpus exited "
+              f"{proc.returncode}, expected 1\n{proc.stderr}",
+              file=sys.stderr)
+        return 1
+    try:
+        report = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        print(f"validate_report: report is not JSON: {e}", file=sys.stderr)
+        return 1
+    errs = validate(report, schema, schema) + check_semantics(report)
+    for e in errs:
+        print(f"validate_report: {e}", file=sys.stderr)
+    print(f"validate_report: corpus report: "
+          f"{len(report.get('violations', []))} violations, "
+          f"{len(report.get('suppressed', []))} suppressed, "
+          f"{len(errs)} schema/contract errors")
+    return 1 if errs else 0
+
+
+def self_test(schema: dict) -> int:
+    good = {
+        "tool": "satlint", "version": 2, "root": "/repo",
+        "files_scanned": 1,
+        "violations": [{"path": "a.cpp", "line": 3,
+                        "rule": "volatile-sync", "message": "m"}],
+        "suppressed": [{"path": "a.cpp", "line": 9,
+                        "rule": "atomic-whitelist", "message": "m",
+                        "reason": "audited"}],
+    }
+    import copy
+    bads = []
+    b = copy.deepcopy(good); b["version"] = 1
+    bads.append(("stale version", b))
+    b = copy.deepcopy(good); del b["suppressed"]
+    bads.append(("missing suppressed", b))
+    b = copy.deepcopy(good); b["violations"][0]["rule"] = "no-such-rule"
+    bads.append(("unknown rule id", b))
+    b = copy.deepcopy(good); del b["violations"][0]["rule"]
+    bads.append(("diagnostic without rule", b))
+    b = copy.deepcopy(good); del b["suppressed"][0]["reason"]
+    bads.append(("suppressed without reason", b))
+    b = copy.deepcopy(good); b["suppressed"][0]["line"] = 0
+    bads.append(("line below 1", b))
+    b = copy.deepcopy(good); b["violations"][0]["extra"] = True
+    bads.append(("unexpected key", b))
+
+    failures = 0
+    if validate(good, schema, schema):
+        print("self-test FAIL: the known-good document was rejected")
+        failures += 1
+    for label, bad in bads:
+        errs = validate(bad, schema, schema)
+        status = "ok" if errs else "FAIL"
+        if not errs:
+            failures += 1
+        print(f"self-test {status}: {label} "
+              f"{'rejected' if errs else 'was NOT rejected'}")
+    print(f"validate_report --self-test: {len(bads)} bad documents, "
+          f"{failures} failures")
+    return 0 if failures == 0 else 1
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(prog="validate_report", description=__doc__)
+    ap.add_argument("--root", default=str(HERE.parent.parent),
+                    help="repo root (default: two levels up)")
+    ap.add_argument("--schema", default=str(HERE / "report_schema.json"))
+    ap.add_argument("--report", metavar="FILE",
+                    help="validate this report instead of running satlint")
+    ap.add_argument("--self-test", action="store_true",
+                    help="require known-bad documents to be rejected")
+    args = ap.parse_args()
+
+    schema = json.loads(Path(args.schema).read_text(encoding="utf-8"))
+    if args.self_test:
+        return self_test(schema)
+    if args.report:
+        text = sys.stdin.read() if args.report == "-" else \
+            Path(args.report).read_text(encoding="utf-8")
+        errs = validate(json.loads(text), schema, schema)
+        for e in errs:
+            print(f"validate_report: {e}", file=sys.stderr)
+        print(f"validate_report: {len(errs)} schema errors")
+        return 1 if errs else 0
+    return run_driver(Path(args.root).resolve(), schema)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
