@@ -129,6 +129,47 @@ Result<T> compute_on_cpu(const Matrix<T>& input, const Options& opts) {
   return {};
 }
 
+// Batched host computation. The paper's engine gets the real pipeline —
+// every image shares ONE claim-range scheduler, so workers flow across
+// image boundaries without a barrier (see sathost::sat_skss_lb_batch).
+// The other engines have no cross-image protocol; they run image-at-a-time
+// on one pool, which still amortizes thread start-up across the batch.
+template <class T>
+BatchResult<T> compute_batch_on_cpu(const std::vector<Matrix<T>>& inputs,
+                                    const Options& opts) {
+  BatchResult<T> result;
+  result.tables.reserve(inputs.size());
+  for (const auto& m : inputs) result.tables.emplace_back(m.rows(), m.cols());
+
+  if (opts.cpu_engine == CpuEngine::kSkssLb) {
+    sathost::ThreadPool pool(opts.cpu_threads);
+    pool.set_obs(opts.metrics, opts.trace);
+    sathost::SkssLbOptions lb;
+    lb.tile_w = opts.cpu_tile_w;
+    lb.metrics = opts.metrics;
+    lb.trace = opts.trace;
+    std::vector<satutil::Span2d<const T>> srcs;
+    std::vector<satutil::Span2d<T>> dsts;
+    srcs.reserve(inputs.size());
+    dsts.reserve(inputs.size());
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+      srcs.push_back(inputs[k].view());
+      dsts.push_back(result.tables[k].view());
+    }
+    sathost::sat_skss_lb_batch<T>(pool, srcs, dsts, lb);
+    result.stats.algorithm = "cpu-skss-lb-batch";
+    return result;
+  }
+
+  Options per_image = opts;
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    Result<T> r = compute_on_cpu(inputs[k], per_image);
+    result.tables[k] = std::move(r.table);
+    result.stats.algorithm = std::move(r.stats.algorithm) + "-batch";
+  }
+  return result;
+}
+
 }  // namespace
 
 template <class T>
@@ -154,6 +195,7 @@ BatchResult<T> compute_sat_batch(const std::vector<Matrix<T>>& inputs,
     SAT_CHECK_MSG(m.rows() == in_rows && m.cols() == in_cols,
                   "batched matrices must share one shape");
   }
+  if (opts.backend == Backend::kCpu) return compute_batch_on_cpu(inputs, opts);
   SAT_CHECK(opts.tile_w > 0 && opts.tile_w % 32 == 0);
   auto align = [&](std::size_t x) {
     return (x + opts.tile_w - 1) / opts.tile_w * opts.tile_w;

@@ -7,23 +7,39 @@
 // pass (2R2W-shaped traffic), `sat_wavefront` re-reads finished dst cells to
 // recover carries and barriers once per anti-diagonal. This engine is the
 // paper's answer ported to the host: worker threads act as CUDA blocks,
-// self-assigning tiles from an atomic counter in diagonal-major serial order
+// self-assigning tiles in diagonal-major serial order
 //   σ(I,J) = (I+J)(I+J+1)/2 + I                        (Figure 9),
 // computing each tile's SAT with the fused SIMD kernels in one read and one
 // write over the matrix, and resolving the left / top / diagonal prefixes by
 // walking per-tile status flags (LOCAL → GLOBAL publication, lookback.hpp)
 // instead of a barrier between passes.
 //
+// Scheduling: serials are handed out as per-worker contiguous claim ranges
+// drawn off a shared cursor, popped front-to-back, with tail-half work
+// stealing once the cursor drains (ClaimScheduler in lookback.hpp). This
+// keeps the paper's increasing-serial discipline per (sub-)range — which is
+// what the deadlock-freedom induction below needs — while claims touch a
+// worker-private cache line instead of storming one global counter.
+//
 // Deadlock-freedom with a finite thread pool: every look-back dependency of
-// T(I,J) points to a tile with a strictly smaller serial, and serials are
-// claimed in increasing order, so a dependency is always claimed before its
-// dependent. Workers never block on anything *pool*-related while holding a
-// tile (run_persistent keeps them off the pool mutex); a flag wait can only
-// point at a tile some running worker has already claimed, and the claimant
-// of the smallest unfinished serial never waits at all — its dependencies
-// are all finished. Induction gives progress for any worker count ≥ 1,
-// including oversubscribed and single-core machines (waiters yield the
-// timeslice; see util/backoff.hpp).
+// T(I,J) points to a tile with a strictly smaller serial. Ranges are drawn
+// only by running workers and each (sub-)range is consumed in increasing
+// serial order, so the worker owning the globally smallest unfinished
+// serial is currently at that serial — all its dependencies are finished
+// and it never waits; if the smallest unfinished serial is beyond every
+// claimed range, claim code (which never blocks) hands it to some running
+// worker. Workers never block on anything *pool*-related while holding a
+// tile (run_persistent keeps them off the pool mutex). Induction gives
+// progress for any worker count ≥ 1, including oversubscribed and
+// single-core machines (waiters yield the timeslice; see util/backoff.hpp).
+//
+// Batch pipelining: sat_skss_lb_batch runs B same-shaped images through one
+// serial space of B·tiles serials. Tiles of different images share no data,
+// so no new synchronization is needed — workers simply start claiming image
+// k+1's tiles while the tail of image k drains, gated only by the existing
+// per-tile flags *within* each image. Dependencies still point at strictly
+// smaller global serials (same image, smaller local serial), so the
+// deadlock argument is untouched.
 //
 // Two per-tile paths, identical results:
 //   - fast path: all predecessors already GLOBAL when the tile is claimed
@@ -40,11 +56,12 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <new>
 #include <type_traits>
 #include <vector>
 
@@ -73,12 +90,14 @@ struct SkssLbOptions {
   /// run_persistent) — correctness never depends on the count.
   std::size_t workers = 0;
   /// Optional observability (not owned): host.lookback.{depth,flag_wait_us,
-  /// tiles_retired,fastpath_tiles} metrics and one trace span per tile.
+  /// tiles_retired,fastpath_tiles,steals,stolen_tiles,overlap_tiles,
+  /// range_tiles} metrics and one trace span per tile.
   obs::Registry* metrics = nullptr;
   obs::TraceSink* trace = nullptr;
   /// Test hook, called right after a worker claims each tile serial (used
-  /// by the flag-protocol stress test to inject randomized stalls). Leave
-  /// empty in production.
+  /// by the flag-protocol stress test to inject randomized stalls). In a
+  /// batch run the serial is global: image = serial / tiles_per_image.
+  /// Leave empty in production.
   std::function<void(std::size_t serial)> tile_hook;
 };
 
@@ -111,19 +130,86 @@ void simd_offset_store(const T* a, const T* off, T b, T* dst, std::size_t n,
   for (; j < n; ++j) dst[j] = a[j] + b + off[j];
 }
 
+/// Bytes per OS page, for the first-touch arena placement below.
+inline constexpr std::size_t kPageBytes = 4096;
+
+/// Per-worker scratch arena: page-aligned, first-touched by the owning
+/// worker thread. Under the first-touch NUMA policy the OS backs a page on
+/// the node of the thread that first *writes* it, so the arena is
+/// constructed inside the worker body and faults its own pages there —
+/// both the prefix rows and the (lazy) W² tile buffer land on the worker's
+/// node. Page alignment keeps one worker's scratch from sharing a page
+/// (and hence a placement decision, or a false-shared tail line) with a
+/// peer's. The tile buffer is W² elements and is allocated only on the
+/// first slow-path tile — a worker whose every tile takes the fast path
+/// (always true with one worker) never touches it.
+template <class T>
+class TileArena {
+  static_assert(std::is_arithmetic_v<T>,
+                "arena scratch is zero-filled bytewise");
+
+ public:
+  explicit TileArena(std::size_t w) : w_(w), rows_(alloc_touched(4 * w)) {}
+
+  T* acc() noexcept { return rows_.get(); }
+  T* grs_left() noexcept { return rows_.get() + w_; }
+  T* gcs_up() noexcept { return rows_.get() + 2 * w_; }
+  T* offrow() noexcept { return rows_.get() + 3 * w_; }
+
+  /// The W² tile buffer, faulted on first slow-path use.
+  T* tile() {
+    if (tile_ == nullptr) tile_ = alloc_touched(w_ * w_);
+    return tile_.get();
+  }
+
+ private:
+  struct PageFree {
+    void operator()(T* p) const noexcept {
+      ::operator delete(p, std::align_val_t{kPageBytes});
+    }
+  };
+  using Block = std::unique_ptr<T[], PageFree>;
+
+  static Block alloc_touched(std::size_t count) {
+    const std::size_t bytes =
+        (count * sizeof(T) + kPageBytes - 1) / kPageBytes * kPageBytes;
+    Block b(static_cast<T*>(
+                ::operator new(bytes, std::align_val_t{kPageBytes})),
+            PageFree{});
+    // The first touch: fault (and zero) every page on the calling thread.
+    std::memset(b.get(), 0, bytes);
+    return b;
+  }
+
+  std::size_t w_;
+  Block rows_;
+  Block tile_;
+};
+
 }  // namespace detail
 
-/// Computes the SAT of `src` into `dst` with the host 1R1W-SKSS-LB engine.
-/// `src` and `dst` must have identical shape and must not alias. Results are
-/// exact for integral T; floating-point results differ from the sequential
-/// oracle only by association order (the look-back path's accumulation order
-/// depends on predecessor timing, like the device algorithm).
+/// Computes the SATs of `srcs[b]` into `dsts[b]` for every image of the
+/// batch with the host 1R1W-SKSS-LB engine, pipelining tiles of image k+1
+/// behind the draining tail of image k (see the header comment). All images
+/// must share one shape; each `dsts[b]` must match it and not alias its
+/// source. Results are exact for integral T; floating-point results differ
+/// from the sequential oracle only by association order (the look-back
+/// path's accumulation order depends on predecessor timing, like the
+/// device algorithm).
 template <class T>
-void sat_skss_lb(ThreadPool& pool, satutil::Span2d<const T> src,
-                 satutil::Span2d<T> dst, const SkssLbOptions& opt = {}) {
-  SAT_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
-  const std::size_t rows = src.rows();
-  const std::size_t cols = src.cols();
+void sat_skss_lb_batch(ThreadPool& pool,
+                       const std::vector<satutil::Span2d<const T>>& srcs,
+                       const std::vector<satutil::Span2d<T>>& dsts,
+                       const SkssLbOptions& opt = {}) {
+  const std::size_t batch = srcs.size();
+  SAT_CHECK(dsts.size() == batch);
+  if (batch == 0) return;
+  const std::size_t rows = srcs[0].rows();
+  const std::size_t cols = srcs[0].cols();
+  for (std::size_t b = 0; b < batch; ++b) {
+    SAT_CHECK(srcs[b].rows() == rows && srcs[b].cols() == cols);
+    SAT_CHECK(dsts[b].rows() == rows && dsts[b].cols() == cols);
+  }
   if (rows == 0 || cols == 0) return;
 
   const std::size_t nworkers =
@@ -141,15 +227,15 @@ void sat_skss_lb(ThreadPool& pool, satutil::Span2d<const T> src,
     w = std::min(w, cap);
   }
   // Diagonal-major serials over the tile grid; edge tiles are clipped to the
-  // matrix, so the grid is built on the padded-to-W shape.
+  // matrix, so the grid is built on the padded-to-W shape. All images share
+  // the grid; image b's tiles occupy global serials [b·tpi, (b+1)·tpi).
   const satalgo::TileGrid grid((rows + w - 1) / w * w, (cols + w - 1) / w * w,
                                w);
-  LookbackAux<T> aux(grid.count(), w);
-  // satlint: allow(atomic-whitelist) -- the diagonal-major self-assignment
-  // counter. The claim carries no payload (all tile data flows through
-  // StatusFlags release/acquire pairs), so a bare relaxed counter is the
-  // whole protocol here; see the deadlock-freedom note above.
-  std::atomic<std::size_t> work_counter{0};
+  const std::size_t tpi = grid.count();  // tiles per image
+  std::vector<LookbackAux<T>> aux;
+  aux.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b) aux.emplace_back(tpi, w);
+  ClaimScheduler sched(batch * tpi, nworkers);
 
   LookbackObs obs;
   obs.resolve(opt.metrics);
@@ -157,245 +243,320 @@ void sat_skss_lb(ThreadPool& pool, satutil::Span2d<const T> src,
 #if SATLIB_OBS_ENABLED
   if (opt.trace != nullptr)
     trace_pid = opt.trace->register_process("host skss-lb");
+  std::vector<std::size_t> overlap_count(nworkers, 0);
 #endif
 
   const bool allow_stream = rows * cols * sizeof(T) >= kStreamMinBytes;
 
-  auto worker = [&](std::size_t worker_index) {
-    // Per-worker scratch: the cache-resident tile (the shared-memory
-    // analog) and the resolved prefix vectors, reused across tiles. The
-    // tile buffer is W² elements, so it is faulted in lazily — a worker
-    // whose every tile takes the fast path (always true with one worker)
-    // never touches it.
-    std::vector<T> tilebuf;
-    std::vector<T> acc(w);
-    std::vector<T> grs_left(w);
-    std::vector<T> gcs_up(w);
-    std::vector<T> offrow(w);
-
-    for (;;) {
-      // Self-assignment: the atomic grab hands tiles out in serial order,
-      // the host form of the paper's atomicAdd work counter.
-      if (testhook::g_sched_hook != nullptr) testhook::g_sched_hook->on_claim();
-      const std::size_t serial =
-          work_counter.fetch_add(1, std::memory_order_relaxed);
-      if (serial >= grid.count()) break;
-      if (opt.tile_hook) opt.tile_hook(serial);
+  // The per-tile body, shared by every image of the batch. `local` is the
+  // tile's serial within its image.
+  auto process_tile = [&](LookbackAux<T>& iaux, satutil::Span2d<const T> src,
+                          satutil::Span2d<T> dst, std::size_t local,
+                          std::size_t img, std::size_t worker_index,
+                          detail::TileArena<T>& arena) {
 #if SATLIB_OBS_ENABLED
-      const double ts =
-          opt.trace != nullptr ? opt.trace->now_host_us() : 0.0;
+    const double ts = opt.trace != nullptr ? opt.trace->now_host_us() : 0.0;
 #endif
+    T* acc = arena.acc();
 
-      const auto [ti, tj] = grid.tile_of_serial(serial);
-      const std::size_t self = grid.idx(ti, tj);
-      const std::size_t r0 = ti * w, c0 = tj * w;
-      const std::size_t P = std::min(w, rows - r0);  // tile rows
-      const std::size_t Q = std::min(w, cols - c0);  // tile cols
-      const std::size_t left = tj > 0 ? grid.idx(ti, tj - 1) : 0;
-      const std::size_t up = ti > 0 ? grid.idx(ti - 1, tj) : 0;
-      const std::size_t diag = (ti > 0 && tj > 0) ? grid.idx(ti - 1, tj - 1)
-                                                  : 0;
-      T* grs_self = aux.grs.get() + aux.vec_base(self);
-      T* gcs_self = aux.gcs.get() + aux.vec_base(self);
+    const auto [ti, tj] = grid.tile_of_serial(local);
+    const std::size_t self = grid.idx(ti, tj);
+    const std::size_t r0 = ti * w, c0 = tj * w;
+    const std::size_t P = std::min(w, rows - r0);  // tile rows
+    const std::size_t Q = std::min(w, cols - c0);  // tile cols
+    const std::size_t left = tj > 0 ? grid.idx(ti, tj - 1) : 0;
+    const std::size_t up = ti > 0 ? grid.idx(ti - 1, tj) : 0;
+    const std::size_t diag = (ti > 0 && tj > 0) ? grid.idx(ti - 1, tj - 1)
+                                                : 0;
+    T* grs_self = iaux.grs.get() + iaux.vec_base(self);
+    T* gcs_self = iaux.gcs.get() + iaux.vec_base(self);
+    // Runtime depth heuristic for the register-blocked row sweep; both
+    // depths are bit-equal to chained 1-row calls, so edge tiles with a
+    // shorter Q than their neighbors still produce exact results.
+    const bool deep = simd_row_block<T>(Q) == 8;
 
-      const bool fast =
-          (tj == 0 || aux.r_status.peek(left) >= hflag::kGrs) &&
-          (ti == 0 || aux.c_status.peek(up) >= hflag::kGcs) &&
-          (ti == 0 || tj == 0 || aux.r_status.peek(diag) >= hflag::kGs);
+    const bool fast =
+        (tj == 0 || iaux.r_status.peek(left) >= hflag::kGrs) &&
+        (ti == 0 || iaux.c_status.peek(up) >= hflag::kGcs) &&
+        (ti == 0 || tj == 0 || iaux.r_status.peek(diag) >= hflag::kGs);
 
-      if (fast) {
-        // Every prefix is already GLOBAL: one fused sweep straight into
-        // dst, seeded with the predecessors' prefixes. Row p's carry-in is
-        // GRS(I,J−1)[p]; the accumulator row starts at the inclusive
-        // prefix of GCS(I−1,J) plus GS(I−1,J−1), so each output element is
-        // final as it is stored.
-        const T* grs_in =
-            tj > 0 ? aux.grs.get() + aux.vec_base(left) : nullptr;
-        const T* gcs_in =
-            ti > 0 ? aux.gcs.get() + aux.vec_base(up) : nullptr;
-        const T corner = (ti > 0 && tj > 0) ? aux.gs[diag] : T{};
-        T band_left{};  // Σ GRS(I,J−1) — SAT(r1, c0−1) together with corner
-        {
-          T run = corner;
-          for (std::size_t q = 0; q < Q; ++q) {
-            run += gcs_in != nullptr ? gcs_in[q] : T{};
-            acc[q] = run;
-          }
+    if (fast) {
+      // Every prefix is already GLOBAL: one fused sweep straight into
+      // dst, seeded with the predecessors' prefixes. Row p's carry-in is
+      // GRS(I,J−1)[p]; the accumulator row starts at the inclusive
+      // prefix of GCS(I−1,J) plus GS(I−1,J−1), so each output element is
+      // final as it is stored.
+      const T* grs_in =
+          tj > 0 ? iaux.grs.get() + iaux.vec_base(left) : nullptr;
+      const T* gcs_in =
+          ti > 0 ? iaux.gcs.get() + iaux.vec_base(up) : nullptr;
+      const T corner = (ti > 0 && tj > 0) ? iaux.gs[diag] : T{};
+      T band_left{};  // Σ GRS(I,J−1) — SAT(r1, c0−1) together with corner
+      {
+        T run = corner;
+        for (std::size_t q = 0; q < Q; ++q) {
+          run += gcs_in != nullptr ? gcs_in[q] : T{};
+          acc[q] = run;
         }
-        std::size_t p = 0;
-        for (; p + 4 <= P; p += 4) {
-          const T* srows[4] = {&src(r0 + p, c0), &src(r0 + p + 1, c0),
-                               &src(r0 + p + 2, c0), &src(r0 + p + 3, c0)};
-          T* drows[4] = {&dst(r0 + p, c0), &dst(r0 + p + 1, c0),
-                         &dst(r0 + p + 2, c0), &dst(r0 + p + 3, c0)};
-          T carries[4];
-          for (std::size_t k = 0; k < 4; ++k) {
+      }
+      std::size_t p = 0;
+      if (deep) {
+        for (; p + 8 <= P; p += 8) {
+          const T* srows[8];
+          T* drows[8];
+          T carries[8];
+          for (std::size_t k = 0; k < 8; ++k) {
+            srows[k] = &src(r0 + p + k, c0);
+            drows[k] = &dst(r0 + p + k, c0);
             carries[k] = grs_in != nullptr ? grs_in[p + k] : T{};
             band_left += carries[k];
           }
-          simd_row_scan_acc4(srows, acc.data(), drows, Q, carries,
-                             allow_stream);
-          for (std::size_t k = 0; k < 4; ++k) grs_self[p + k] = carries[k];
+          simd_row_scan_acc8(srows, acc, drows, Q, carries, allow_stream);
+          for (std::size_t k = 0; k < 8; ++k) grs_self[p + k] = carries[k];
         }
-        for (; p < P; ++p) {
-          const T carry_in = grs_in != nullptr ? grs_in[p] : T{};
-          band_left += carry_in;
-          grs_self[p] = simd_row_scan_acc(&src(r0 + p, c0), acc.data(),
-                                          &dst(r0 + p, c0), Q, carry_in,
-                                          allow_stream);
+      }
+      for (; p + 4 <= P; p += 4) {
+        const T* srows[4] = {&src(r0 + p, c0), &src(r0 + p + 1, c0),
+                             &src(r0 + p + 2, c0), &src(r0 + p + 3, c0)};
+        T* drows[4] = {&dst(r0 + p, c0), &dst(r0 + p + 1, c0),
+                       &dst(r0 + p + 2, c0), &dst(r0 + p + 3, c0)};
+        T carries[4];
+        for (std::size_t k = 0; k < 4; ++k) {
+          carries[k] = grs_in != nullptr ? grs_in[p + k] : T{};
+          band_left += carries[k];
         }
-        // acc now holds the tile's bottom output row: GCS by differencing
-        // (exact for integral T), GS is its last entry.
-        gcs_self[0] = acc[0] - (band_left + corner);
-        for (std::size_t q = 1; q < Q; ++q)
-          gcs_self[q] = acc[q] - acc[q - 1];
-        aux.gs[self] = acc[Q - 1];
-        // Flags are monotone: publishing the terminal states directly is
-        // indistinguishable from a fast publisher (no waiter can observe
-        // the skipped LOCAL/GLS states).
-        aux.r_status.publish(self, hflag::kGs);
-        aux.c_status.publish(self, hflag::kGcs);
+        simd_row_scan_acc4(srows, acc, drows, Q, carries, allow_stream);
+        for (std::size_t k = 0; k < 4; ++k) grs_self[p + k] = carries[k];
+      }
+      for (; p < P; ++p) {
+        const T carry_in = grs_in != nullptr ? grs_in[p] : T{};
+        band_left += carry_in;
+        grs_self[p] = simd_row_scan_acc(&src(r0 + p, c0), acc,
+                                        &dst(r0 + p, c0), Q, carry_in,
+                                        allow_stream);
+      }
+      // acc now holds the tile's bottom output row: GCS by differencing
+      // (exact for integral T), GS is its last entry.
+      gcs_self[0] = acc[0] - (band_left + corner);
+      for (std::size_t q = 1; q < Q; ++q)
+        gcs_self[q] = acc[q] - acc[q - 1];
+      iaux.gs[self] = acc[Q - 1];
+      // Flags are monotone: publishing the terminal states directly is
+      // indistinguishable from a fast publisher (no waiter can observe
+      // the skipped LOCAL/GLS states).
+      iaux.r_status.publish(self, hflag::kGs);
+      iaux.c_status.publish(self, hflag::kGcs);
 #if SATLIB_OBS_ENABLED
-        if (obs.fastpath_tiles != nullptr) {
-          obs.fastpath_tiles->add();
-          if (tj > 0) obs.depth->record(1);
-          if (ti > 0) obs.depth->record(1);
-          if (ti > 0 && tj > 0) obs.depth->record(1);
-        }
+      if (obs.fastpath_tiles != nullptr) {
+        obs.fastpath_tiles->add();
+        if (tj > 0) obs.depth->record(1);
+        if (ti > 0) obs.depth->record(1);
+        if (ti > 0 && tj > 0) obs.depth->record(1);
+      }
 #endif
-      } else {
-        if (tilebuf.empty()) tilebuf.resize(w * w);
-        T* lrs_self = aux.lrs.get() + aux.vec_base(self);
-        T* lcs_self = aux.lcs.get() + aux.vec_base(self);
+    } else {
+      T* tilebuf = arena.tile();
+      T* lrs_self = iaux.lrs.get() + iaux.vec_base(self);
+      T* lcs_self = iaux.lcs.get() + iaux.vec_base(self);
 
-        // Step 1: the tile's LOCAL SAT into the cache-resident buffer; the
-        // row carries are LRS, the bottom row's differences are LCS.
-        std::fill(acc.begin(), acc.begin() + Q, T{});
-        {
-          std::size_t p = 0;
-          for (; p + 4 <= P; p += 4) {
-            const T* srows[4] = {&src(r0 + p, c0), &src(r0 + p + 1, c0),
-                                 &src(r0 + p + 2, c0), &src(r0 + p + 3, c0)};
-            T* brows[4] = {tilebuf.data() + p * w,
-                           tilebuf.data() + (p + 1) * w,
-                           tilebuf.data() + (p + 2) * w,
-                           tilebuf.data() + (p + 3) * w};
-            T carries[4] = {T{}, T{}, T{}, T{}};
-            simd_row_scan_acc4(srows, acc.data(), brows, Q, carries,
+      // Step 1: the tile's LOCAL SAT into the cache-resident buffer; the
+      // row carries are LRS, the bottom row's differences are LCS.
+      std::fill(acc, acc + Q, T{});
+      {
+        std::size_t p = 0;
+        if (deep) {
+          for (; p + 8 <= P; p += 8) {
+            const T* srows[8];
+            T* brows[8];
+            T carries[8] = {};
+            for (std::size_t k = 0; k < 8; ++k) {
+              srows[k] = &src(r0 + p + k, c0);
+              brows[k] = tilebuf + (p + k) * w;
+            }
+            simd_row_scan_acc8(srows, acc, brows, Q, carries,
                                /*allow_stream=*/false);
-            for (std::size_t k = 0; k < 4; ++k) lrs_self[p + k] = carries[k];
-          }
-          for (; p < P; ++p)
-            lrs_self[p] =
-                simd_row_scan_acc(&src(r0 + p, c0), acc.data(),
-                                  tilebuf.data() + p * w, Q, T{},
-                                  /*allow_stream=*/false);
-        }
-        const T* bottom = tilebuf.data() + (P - 1) * w;
-        lcs_self[0] = bottom[0];
-        for (std::size_t q = 1; q < Q; ++q)
-          lcs_self[q] = bottom[q] - bottom[q - 1];
-
-        // Steps 2.A.1 / 2.B.1: publish the LOCAL sums.
-        aux.r_status.publish(self, hflag::kLrs);
-        aux.c_status.publish(self, hflag::kLcs);
-
-        // Steps 2.A.2–3: look back leftwards for GRS(I,J−1) (Figure 10).
-        std::fill(grs_left.begin(), grs_left.begin() + P, T{});
-        if (tj > 0) {
-          const std::size_t d = lookback_accumulate(
-              aux.r_status, aux.lrs.get(), aux.grs.get(), w, tj, P,
-              grs_left.data(), hflag::kLrs, hflag::kGrs, obs,
-              [&](std::size_t k) { return grid.idx(ti, tj - 1 - k); });
-#if SATLIB_OBS_ENABLED
-          if (obs.depth != nullptr) obs.depth->record(d);
-#else
-          (void)d;
-#endif
-        }
-        for (std::size_t p = 0; p < P; ++p)
-          grs_self[p] = grs_left[p] + lrs_self[p];
-        aux.r_status.publish(self, hflag::kGrs);
-
-        // Steps 2.B.2–3: the same look-back upwards for GCS(I−1,J).
-        std::fill(gcs_up.begin(), gcs_up.begin() + Q, T{});
-        if (ti > 0) {
-          const std::size_t d = lookback_accumulate(
-              aux.c_status, aux.lcs.get(), aux.gcs.get(), w, ti, Q,
-              gcs_up.data(), hflag::kLcs, hflag::kGcs, obs,
-              [&](std::size_t k) { return grid.idx(ti - 1 - k, tj); });
-#if SATLIB_OBS_ENABLED
-          if (obs.depth != nullptr) obs.depth->record(d);
-#else
-          (void)d;
-#endif
-        }
-        for (std::size_t q = 0; q < Q; ++q)
-          gcs_self[q] = gcs_up[q] + lcs_self[q];
-        aux.c_status.publish(self, hflag::kGcs);
-
-        // Step 3.1: GLS(I,J), the L-shaped band sum (Figure 11).
-        T gls_val{};
-        for (std::size_t p = 0; p < P; ++p)
-          gls_val += grs_left[p] + lrs_self[p];
-        for (std::size_t q = 0; q < Q; ++q) gls_val += gcs_up[q];
-        aux.gls[self] = gls_val;
-        aux.r_status.publish(self, hflag::kGls);
-
-        // Steps 3.2–3.3: diagonal look-back for GS(I−1,J−1); GS telescopes
-        // into ΣGLS, and a border tile's GLS equals its GS, so the walk
-        // terminates at k = min(I,J) even if no GS is published yet.
-        T gs_corner{};
-        if (ti > 0 && tj > 0) {
-          const std::size_t d = lookback_accumulate(
-              aux.r_status, aux.gls.get(), aux.gs.get(), 1,
-              std::min(ti, tj), 1, &gs_corner, hflag::kGls, hflag::kGs, obs,
-              [&](std::size_t k) { return grid.idx(ti - 1 - k, tj - 1 - k); });
-#if SATLIB_OBS_ENABLED
-          if (obs.depth != nullptr) obs.depth->record(d);
-#else
-          (void)d;
-#endif
-        }
-        aux.gs[self] = gs_corner + gls_val;
-        aux.r_status.publish(self, hflag::kGs);
-
-        // Step 4: the single store to dst, prefixes folded in on the way
-        // out: dst = local SAT + row-band prefix + column-band/corner row.
-        {
-          T run = gs_corner;
-          for (std::size_t q = 0; q < Q; ++q) {
-            run += gcs_up[q];
-            offrow[q] = run;
+            for (std::size_t k = 0; k < 8; ++k) lrs_self[p + k] = carries[k];
           }
         }
-        T band{};
-        for (std::size_t p = 0; p < P; ++p) {
-          band += grs_left[p];
-          detail::simd_offset_store(tilebuf.data() + p * w, offrow.data(),
-                                    band, &dst(r0 + p, c0), Q, allow_stream);
+        for (; p + 4 <= P; p += 4) {
+          const T* srows[4] = {&src(r0 + p, c0), &src(r0 + p + 1, c0),
+                               &src(r0 + p + 2, c0), &src(r0 + p + 3, c0)};
+          T* brows[4] = {tilebuf + p * w, tilebuf + (p + 1) * w,
+                         tilebuf + (p + 2) * w, tilebuf + (p + 3) * w};
+          T carries[4] = {T{}, T{}, T{}, T{}};
+          simd_row_scan_acc4(srows, acc, brows, Q, carries,
+                             /*allow_stream=*/false);
+          for (std::size_t k = 0; k < 4; ++k) lrs_self[p + k] = carries[k];
+        }
+        for (; p < P; ++p)
+          lrs_self[p] =
+              simd_row_scan_acc(&src(r0 + p, c0), acc,
+                                tilebuf + p * w, Q, T{},
+                                /*allow_stream=*/false);
+      }
+      const T* bottom = tilebuf + (P - 1) * w;
+      lcs_self[0] = bottom[0];
+      for (std::size_t q = 1; q < Q; ++q)
+        lcs_self[q] = bottom[q] - bottom[q - 1];
+
+      // Steps 2.A.1 / 2.B.1: publish the LOCAL sums.
+      iaux.r_status.publish(self, hflag::kLrs);
+      iaux.c_status.publish(self, hflag::kLcs);
+
+      // Steps 2.A.2–3: look back leftwards for GRS(I,J−1) (Figure 10).
+      T* grs_left = arena.grs_left();
+      std::fill(grs_left, grs_left + P, T{});
+      if (tj > 0) {
+        const std::size_t d = lookback_accumulate(
+            iaux.r_status, iaux.lrs.get(), iaux.grs.get(), w, tj, P,
+            grs_left, hflag::kLrs, hflag::kGrs, obs,
+            [&](std::size_t k) { return grid.idx(ti, tj - 1 - k); });
+#if SATLIB_OBS_ENABLED
+        if (obs.depth != nullptr) obs.depth->record(d);
+#else
+        (void)d;
+#endif
+      }
+      for (std::size_t p = 0; p < P; ++p)
+        grs_self[p] = grs_left[p] + lrs_self[p];
+      iaux.r_status.publish(self, hflag::kGrs);
+
+      // Steps 2.B.2–3: the same look-back upwards for GCS(I−1,J).
+      T* gcs_up = arena.gcs_up();
+      std::fill(gcs_up, gcs_up + Q, T{});
+      if (ti > 0) {
+        const std::size_t d = lookback_accumulate(
+            iaux.c_status, iaux.lcs.get(), iaux.gcs.get(), w, ti, Q,
+            gcs_up, hflag::kLcs, hflag::kGcs, obs,
+            [&](std::size_t k) { return grid.idx(ti - 1 - k, tj); });
+#if SATLIB_OBS_ENABLED
+        if (obs.depth != nullptr) obs.depth->record(d);
+#else
+        (void)d;
+#endif
+      }
+      for (std::size_t q = 0; q < Q; ++q)
+        gcs_self[q] = gcs_up[q] + lcs_self[q];
+      iaux.c_status.publish(self, hflag::kGcs);
+
+      // Step 3.1: GLS(I,J), the L-shaped band sum (Figure 11).
+      T gls_val{};
+      for (std::size_t p = 0; p < P; ++p)
+        gls_val += grs_left[p] + lrs_self[p];
+      for (std::size_t q = 0; q < Q; ++q) gls_val += gcs_up[q];
+      iaux.gls[self] = gls_val;
+      iaux.r_status.publish(self, hflag::kGls);
+
+      // Steps 3.2–3.3: diagonal look-back for GS(I−1,J−1); GS telescopes
+      // into ΣGLS, and a border tile's GLS equals its GS, so the walk
+      // terminates at k = min(I,J) even if no GS is published yet.
+      T gs_corner{};
+      if (ti > 0 && tj > 0) {
+        const std::size_t d = lookback_accumulate(
+            iaux.r_status, iaux.gls.get(), iaux.gs.get(), 1,
+            std::min(ti, tj), 1, &gs_corner, hflag::kGls, hflag::kGs, obs,
+            [&](std::size_t k) { return grid.idx(ti - 1 - k, tj - 1 - k); });
+#if SATLIB_OBS_ENABLED
+        if (obs.depth != nullptr) obs.depth->record(d);
+#else
+        (void)d;
+#endif
+      }
+      iaux.gs[self] = gs_corner + gls_val;
+      iaux.r_status.publish(self, hflag::kGs);
+
+      // Step 4: the single store to dst, prefixes folded in on the way
+      // out: dst = local SAT + row-band prefix + column-band/corner row.
+      T* offrow = arena.offrow();
+      {
+        T run = gs_corner;
+        for (std::size_t q = 0; q < Q; ++q) {
+          run += gcs_up[q];
+          offrow[q] = run;
         }
       }
+      T band{};
+      for (std::size_t p = 0; p < P; ++p) {
+        band += grs_left[p];
+        detail::simd_offset_store(tilebuf + p * w, offrow,
+                                  band, &dst(r0 + p, c0), Q, allow_stream);
+      }
+    }
 
 #if SATLIB_OBS_ENABLED
-      if (obs.tiles_retired != nullptr) obs.tiles_retired->add();
-      if (opt.trace != nullptr) {
-        char args[96];
-        std::snprintf(args, sizeof args,
-                      "{\"serial\":%zu,\"ti\":%zu,\"tj\":%zu,\"fast\":%d}",
-                      serial, ti, tj, fast ? 1 : 0);
-        opt.trace->complete(trace_pid, worker_index, "tile", "host",
-                            ts, opt.trace->now_host_us() - ts, args);
-      }
+    if (obs.tiles_retired != nullptr) obs.tiles_retired->add();
+    if (opt.trace != nullptr) {
+      char args[112];
+      std::snprintf(
+          args, sizeof args,
+          "{\"serial\":%zu,\"ti\":%zu,\"tj\":%zu,\"img\":%zu,\"fast\":%d}",
+          local, ti, tj, img, fast ? 1 : 0);
+      opt.trace->complete(trace_pid, worker_index, "tile", "host",
+                          ts, opt.trace->now_host_us() - ts, args);
+    }
 #else
-      (void)worker_index;
+    (void)img;
+    (void)worker_index;
 #endif
+  };
+
+  auto worker = [&](std::size_t worker_index) {
+    // Per-worker scratch, first-touched on this thread (see TileArena).
+    detail::TileArena<T> arena(w);
+
+    for (;;) {
+      // Self-assignment: chunked diagonal-major claim ranges with tail
+      // stealing — the host form of the paper's atomicAdd work counter,
+      // minus the all-worker cache-line storm.
+      const std::size_t serial = sched.next(worker_index, obs);
+      if (serial == ClaimScheduler::kNone) break;
+      if (opt.tile_hook) opt.tile_hook(serial);
+      const std::size_t img = serial / tpi;
+      const std::size_t local = serial % tpi;
+#if SATLIB_OBS_ENABLED
+      // Pipeline overlap: this tile starts while the previous image's
+      // terminal tile (largest σ ⇒ row-major index tpi−1) is still
+      // unpublished. A metric, not a gate — tiles of different images
+      // share no data.
+      if (obs.overlap_tiles != nullptr && img > 0 &&
+          aux[img - 1].r_status.peek(tpi - 1) < hflag::kGs)
+        ++overlap_count[worker_index];
+#endif
+      process_tile(aux[img], srcs[img], dsts[img], local, img, worker_index,
+                   arena);
     }
     satsimd::store_fence();
     if (testhook::g_sched_hook != nullptr) testhook::g_sched_hook->on_exit();
   };
 
   pool.run_persistent(nworkers, worker);
+
+#if SATLIB_OBS_ENABLED
+  if (opt.metrics != nullptr) {
+    std::size_t overlap = 0;
+    for (const std::size_t c : overlap_count) overlap += c;
+    if (obs.overlap_tiles != nullptr && overlap > 0)
+      obs.overlap_tiles->add(overlap);
+    if (batch > 1) {
+      // Share of cross-image-eligible tiles (every tile of image 1..B−1)
+      // claimed while their predecessor image was still in flight.
+      const std::size_t eligible = (batch - 1) * tpi;
+      opt.metrics->gauge("host.lookback.pipeline_overlap_pct")
+          .set(100.0 * static_cast<double>(overlap) /
+               static_cast<double>(eligible));
+    }
+  }
+#endif
+}
+
+/// Computes the SAT of `src` into `dst` with the host 1R1W-SKSS-LB engine.
+/// `src` and `dst` must have identical shape and must not alias. The
+/// single-image form of sat_skss_lb_batch (a batch of one).
+template <class T>
+void sat_skss_lb(ThreadPool& pool, satutil::Span2d<const T> src,
+                 satutil::Span2d<T> dst, const SkssLbOptions& opt = {}) {
+  SAT_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  sat_skss_lb_batch<T>(pool, {src}, {dst}, opt);
 }
 
 }  // namespace sathost

@@ -135,7 +135,18 @@ void ThreadPool::submit_and_wait(std::size_t chunks,
     batch_ = batch;
     ++generation_;
   }
-  work_cv_.notify_all();
+  // Wake only as many helpers as the batch can occupy — the caller drains
+  // as lane 0, so a 1-worker run_persistent on a big pool wakes nobody
+  // instead of stampeding every thread through mu_ just to find an
+  // exhausted cursor. Lost wakeups are benign: worker_loop's predicate
+  // re-checks the generation under the lock before sleeping, so a thread
+  // that was mid-drain during the notify still picks the batch up.
+  const std::size_t to_wake = std::min(chunks - 1, threads_.size());
+  if (to_wake == threads_.size()) {
+    work_cv_.notify_all();
+  } else {
+    for (std::size_t i = 0; i < to_wake; ++i) work_cv_.notify_one();
+  }
 
   // The calling thread drains chunks too (lane/worker 0).
   drain(*batch, 0);

@@ -49,6 +49,57 @@ TEST(Batch, RectangularImagesWithPadding) {
   }
 }
 
+TEST(Batch, CpuSkssLbBatchMatchesOracle) {
+  // The CPU backend pipelines the whole batch through one
+  // sathost::sat_skss_lb_batch scheduler call (docs/host_engine.md §3).
+  std::vector<Matrix<std::int32_t>> inputs;
+  for (std::uint64_t k = 0; k < 5; ++k)
+    inputs.push_back(Matrix<std::int32_t>::random(70, 130, 300 + k, 0, 50));
+  sat::Options opts;
+  opts.backend = sat::Backend::kCpu;
+  opts.cpu_engine = sat::CpuEngine::kSkssLb;
+  opts.cpu_threads = 3;
+  const auto result = sat::compute_sat_batch(inputs, opts);
+  ASSERT_EQ(result.tables.size(), inputs.size());
+  for (std::size_t k = 0; k < inputs.size(); ++k)
+    EXPECT_FALSE(sat::validate_sat(inputs[k], result.tables[k]).has_value())
+        << "image " << k;
+  EXPECT_EQ(result.stats.algorithm, "cpu-skss-lb-batch");
+}
+
+TEST(Batch, CpuBatchBitEqualsPerImageCompute) {
+  // Integer elements: the batched engine must agree with single-image
+  // compute_sat exactly, whatever the claim scheduler interleaves.
+  std::vector<Matrix<std::int64_t>> inputs;
+  for (std::uint64_t k = 0; k < 4; ++k)
+    inputs.push_back(Matrix<std::int64_t>::random(64, 64, 400 + k, 0, 99));
+  sat::Options opts;
+  opts.backend = sat::Backend::kCpu;
+  opts.cpu_engine = sat::CpuEngine::kSkssLb;
+  opts.cpu_threads = 2;
+  opts.cpu_tile_w = 32;
+  const auto batch = sat::compute_sat_batch(inputs, opts);
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    const auto single = sat::compute_sat(inputs[k], opts);
+    EXPECT_EQ(batch.tables[k], single.table) << "image " << k;
+  }
+}
+
+TEST(Batch, CpuNonPipelinedEnginesStillBatch) {
+  // Engines without a batch entry loop per image; results must validate
+  // and the algorithm label must record the looping.
+  std::vector<Matrix<std::int32_t>> inputs;
+  for (std::uint64_t k = 0; k < 3; ++k)
+    inputs.push_back(Matrix<std::int32_t>::random(60, 60, 500 + k, 0, 20));
+  sat::Options opts;
+  opts.backend = sat::Backend::kCpu;
+  opts.cpu_engine = sat::CpuEngine::kSimd;
+  const auto result = sat::compute_sat_batch(inputs, opts);
+  for (std::size_t k = 0; k < inputs.size(); ++k)
+    EXPECT_FALSE(sat::validate_sat(inputs[k], result.tables[k]).has_value());
+  EXPECT_EQ(result.stats.algorithm, "cpu-simd-batch");
+}
+
 TEST(Batch, RejectsMixedShapesAndEmptyBatch) {
   std::vector<Matrix<std::int32_t>> mixed = {
       Matrix<std::int32_t>(64, 64, 1), Matrix<std::int32_t>(64, 96, 1)};

@@ -44,6 +44,7 @@
 #include "host/thread_pool.hpp"
 #include "obs/registry.hpp"
 #include "sched_explorer.hpp"
+#include "util/span2d.hpp"
 
 namespace {
 
@@ -70,6 +71,28 @@ std::uint64_t& fastpath_tiles_total() {
 std::uint64_t& slowpath_tiles_total() {
   static std::uint64_t v = 0;
   return v;
+}
+std::uint64_t& steals_total() {
+  static std::uint64_t v = 0;
+  return v;
+}
+std::uint64_t& overlap_tiles_total() {
+  static std::uint64_t v = 0;
+  return v;
+}
+
+void accumulate_counters(const obs::Registry& reg) {
+  const obs::Snapshot snap = reg.snapshot();
+  const std::uint64_t* fast = snap.counter("host.lookback.fastpath_tiles");
+  const std::uint64_t* tiles = snap.counter("host.lookback.tiles_retired");
+  if (fast != nullptr && tiles != nullptr) {
+    fastpath_tiles_total() += *fast;
+    slowpath_tiles_total() += *tiles - *fast;
+  }
+  const std::uint64_t* steals = snap.counter("host.lookback.steals");
+  if (steals != nullptr) steals_total() += *steals;
+  const std::uint64_t* overlap = snap.counter("host.lookback.overlap_tiles");
+  if (overlap != nullptr) overlap_tiles_total() += *overlap;
 }
 
 struct GridConfig {
@@ -122,13 +145,66 @@ bool run_scheduled(sathost::ThreadPool& pool, const GridConfig& cfg,
   }
   signatures().insert(std::move(sig));
 
-  const obs::Snapshot snap = reg.snapshot();
-  const std::uint64_t* fast = snap.counter("host.lookback.fastpath_tiles");
-  const std::uint64_t* tiles = snap.counter("host.lookback.tiles_retired");
-  if (fast != nullptr && tiles != nullptr) {
-    fastpath_tiles_total() += *fast;
-    slowpath_tiles_total() += *tiles - *fast;
+  accumulate_counters(reg);
+  return true;
+}
+
+/// The batch analogue of run_scheduled: `nimages` same-shaped inputs
+/// through one sat_skss_lb_batch call, every image checked bit-exact
+/// against its own oracle.
+bool run_scheduled_batch(sathost::ThreadPool& pool, const GridConfig& cfg,
+                         const std::vector<Matrix<std::int64_t>>& inputs,
+                         const std::vector<Matrix<std::int64_t>>& oracles,
+                         const ScheduleExplorer::DecideFn& decide) {
+  std::vector<Matrix<std::int64_t>> got;
+  std::vector<satutil::Span2d<const std::int64_t>> srcs;
+  std::vector<satutil::Span2d<std::int64_t>> dsts;
+  got.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    got.emplace_back(cfg.rows, cfg.cols);
+    srcs.push_back(in.view());
+    dsts.push_back(got.back().view());
   }
+  obs::Registry reg;
+  ScheduleExplorer explorer(cfg.workers);
+  sathost::testhook::g_sched_hook = &explorer;
+  std::thread engine([&] {
+    sathost::SkssLbOptions opt;
+    opt.tile_w = cfg.tile_w;
+    opt.workers = cfg.workers;
+    opt.metrics = &reg;
+    sathost::sat_skss_lb_batch<std::int64_t>(pool, srcs, dsts, opt);
+  });
+  const ScheduleExplorer::Outcome out = explorer.drive(decide);
+  engine.join();
+  sathost::testhook::g_sched_hook = nullptr;
+
+  EXPECT_FALSE(out.deadlock) << cfg.tag << ": schedule deadlocked";
+  EXPECT_FALSE(out.timeout) << cfg.tag << ": scheduler timed out";
+  if (out.deadlock || out.timeout) return false;
+
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    for (std::size_t i = 0; i < cfg.rows; ++i) {
+      for (std::size_t j = 0; j < cfg.cols; ++j) {
+        if (got[k](i, j) != oracles[k](i, j)) {
+          ADD_FAILURE() << cfg.tag << ": image " << k << " SAT mismatch at ("
+                        << i << "," << j << "): " << got[k](i, j)
+                        << " != " << oracles[k](i, j);
+          return false;
+        }
+      }
+    }
+  }
+
+  std::string sig(cfg.tag);
+  sig.push_back('#');
+  for (std::size_t i = 0; i < out.choices.size(); ++i) {
+    sig.push_back(static_cast<char>('0' + out.choices[i]));
+    sig.push_back(static_cast<char>('0' + out.alts[i]));
+  }
+  signatures().insert(std::move(sig));
+
+  accumulate_counters(reg);
   return true;
 }
 
@@ -229,6 +305,43 @@ TEST(Interleave, RandomSchedulesWorkersExceedTiles) {
   random_schedule_sweep({"rnd-2x2w6", 8, 8, 4, 6}, 160);
 }
 
+TEST(Interleave, RandomSchedulesStealHeavy) {
+  // 4×4 tiles, 4 workers → claim chunk ceil(16/8) = 2, so every refill
+  // leaves one poppable tile in the worker's span. Random schedules that
+  // starve a worker while others drain the cursor force the survivors onto
+  // the steal path — tail-half CAS racing the victim's own pop. Coverage
+  // asserts the sweep actually stole.
+  random_schedule_sweep({"rnd-4x4w4", 16, 16, 4, 4}, 220);
+}
+
+TEST(Interleave, RandomSchedulesBatchPipelineBoundary) {
+  // Two 2×2-tile images through ONE scheduler call: global serials
+  // [0,4) are image 0, [4,8) image 1. Schedules freely reorder claim
+  // rounds across the image boundary, so tiles of image 1 start while
+  // image 0's terminal tile is still unpublished — the pipeline overlap
+  // the batch entry exists for. Every image must stay bit-exact on every
+  // schedule (images share no data, only the claim layer).
+  const GridConfig cfg{"rnd-batch2-2x2w2", 8, 8, 4, 2};
+  std::vector<Matrix<std::int64_t>> inputs;
+  std::vector<Matrix<std::int64_t>> oracles;
+  for (std::uint64_t k = 0; k < 2; ++k) {
+    inputs.push_back(make_input(cfg, 7000 + k));
+    oracles.push_back(make_oracle(inputs.back()));
+  }
+  sathost::ThreadPool pool(cfg.workers);
+  const std::uint64_t overlap_before = overlap_tiles_total();
+  for (std::size_t seed = 0; seed < 180; ++seed) {
+    std::mt19937 rng(static_cast<std::uint32_t>(seed * 2654435761u + 97u));
+    if (!run_scheduled_batch(pool, cfg, inputs, oracles, [&](std::size_t n) {
+          return static_cast<std::size_t>(rng() % n);
+        }))
+      break;
+  }
+  EXPECT_GT(overlap_tiles_total(), overlap_before)
+      << "no schedule pipelined an image-1 tile past the image boundary — "
+         "is the batch path serializing on image completion?";
+}
+
 TEST(Interleave, SingleWorkerIsDeterministic) {
   // One worker has exactly one schedule (every step has one enabled
   // worker) — the degenerate base case of the model.
@@ -254,6 +367,9 @@ TEST(Interleave, Coverage) {
   EXPECT_GT(slowpath_tiles_total(), 0u)
       << "no schedule forced a look-back (slow-path) tile — the explorer "
          "is not actually perturbing claim/publish order";
+  EXPECT_GT(steals_total(), 0u)
+      << "no schedule reached the claim scheduler's steal path — starving "
+         "a worker past the cursor drain must force tail-half steals";
 }
 
 }  // namespace

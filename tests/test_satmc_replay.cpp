@@ -107,9 +107,12 @@ CeSchedule parse_ce(const std::string& text) {
                           static_cast<std::size_t>(json_int(o, "tile")),
                           json_str(o, "axis")[0],
                           static_cast<std::uint8_t>(json_int(o, "want"))});
+  // A tile grant is a "pops serial" step. The scheduler's other claim-round
+  // outcomes (range draws, steals, exits) are bookkeeping with no mini-engine
+  // counterpart — the pick loop skips them as stale for unmapped workers.
   for (const std::string& o : json_objects(text, "schedule"))
     ce.steps.emplace_back(static_cast<std::size_t>(json_int(o, "worker")),
-                          json_str(o, "desc").find(" claims ") !=
+                          json_str(o, "desc").find(" pops serial ") !=
                               std::string::npos);
   return ce;
 }
@@ -119,6 +122,10 @@ CeSchedule parse_ce(const std::string& text) {
 // guard peeks, same publish order, same lookback_accumulate walks over the
 // real StatusFlags — with satmc's sigma-order-inversion seeded into the
 // claim: serials are handed out in *decreasing* diagonal-major order.
+// The engine proper claims through chunked per-worker ranges
+// (sathost::ClaimScheduler); a plain shared counter replays the emitted
+// schedule faithfully because its pops are refills popped in cursor order,
+// so the n-th granted serial is tiles-1-n either way.
 
 struct MiniEngine {
   satalgo::TileGrid grid;

@@ -15,15 +15,25 @@ never fail the run. Rows present in only one ledger are listed as warnings
 (bench sets drift — e.g. the committed ledger covers n=1024/4096 while the
 CI smoke covers n=256/1024; only the intersection is compared).
 
-This is a review aid, not a gate: microbenchmark numbers from shared CI
-runners are too noisy to block a merge on, so CI runs it `--warn-only` and
-the exit status is informational everywhere else (see
-docs/benchmarks.md on ledger discipline).
+Absolute numbers only compare between runs of the same machine. To compare
+across machines (committed ledger from a pinned dev box vs a CI runner),
+pass `--normalize-to ROW`: every metric is first divided by the same metric
+of the reference row *within its own ledger*, so a uniformly faster or
+slower machine cancels out and only relative engine-vs-engine movement
+remains. The reference row must be present in both ledgers; it is excluded
+from the comparison (its ratio is 1.0 by construction).
+
+CI runs the raw cross-machine diff `--warn-only` (informational), and the
+normalized diff on a few named headline rows as an enforcing gate — a >10%
+relative slip of an engine against the scalar baseline is a real
+regression, not runner noise (see docs/benchmarks.md on ledger
+discipline).
 
 Usage
 -----
     tools/ledger_diff.py BASE.json NEW.json [--rows GLOB[,GLOB...]]
                          [--threshold-pct N] [--warn-only]
+                         [--normalize-to ROW]
     tools/ledger_diff.py --self-test
 
 Exit code: 0 no regressions (or --warn-only), 1 regressions found,
@@ -59,6 +69,31 @@ def load_rows(path: Path) -> dict[str, dict]:
     if not rows:
         raise ValueError(f"{path}: ledger has no named result rows")
     return rows
+
+
+def normalize_rows(rows: dict[str, dict], ref_name: str) -> dict[str, dict]:
+    """Divides every headline metric by the reference row's same metric.
+
+    The returned rows carry dimensionless ratios (reference row omitted);
+    metrics the reference row lacks are dropped rather than compared raw.
+    """
+    ref = rows.get(ref_name)
+    if ref is None:
+        raise ValueError(f"--normalize-to row {ref_name!r} not in ledger")
+    out: dict[str, dict] = {}
+    for name, row in rows.items():
+        if name == ref_name:
+            continue
+        nrow = dict(row)
+        for metric in HEADLINE_METRICS:
+            v, rv = row.get(metric), ref.get(metric)
+            if isinstance(v, (int, float)) and \
+                    isinstance(rv, (int, float)) and rv > 0:
+                nrow[metric] = v / rv
+            else:
+                nrow.pop(metric, None)
+        out[name] = nrow
+    return out
 
 
 def diff_rows(base: dict[str, dict], new: dict[str, dict],
@@ -131,6 +166,43 @@ def self_test() -> int:
         failures += 1
         print("self-test FAIL: a 50% threshold must swallow a 40% move")
 
+    # Normalization: NEW is from a machine uniformly 2x slower, plus one
+    # genuine relative regression (slow/1024 lost another 2x on top). Raw
+    # comparison flags everything; normalized to the shared baseline row,
+    # only the real slip remains.
+    nbase = {"ref/1024": {"name": "ref/1024", "wall_ms": 1.0,
+                          "melem_per_s": 1000.0, "ns_per_elem": 1.0},
+             "fast/1024": {"name": "fast/1024", "wall_ms": 2.0,
+                           "melem_per_s": 500.0, "ns_per_elem": 2.0},
+             "slow/1024": {"name": "slow/1024", "wall_ms": 4.0,
+                           "melem_per_s": 250.0, "ns_per_elem": 4.0}}
+    nnew = {"ref/1024": {"name": "ref/1024", "wall_ms": 2.0,
+                         "melem_per_s": 500.0, "ns_per_elem": 2.0},
+            "fast/1024": {"name": "fast/1024", "wall_ms": 4.0,
+                          "melem_per_s": 250.0, "ns_per_elem": 4.0},
+            "slow/1024": {"name": "slow/1024", "wall_ms": 16.0,
+                          "melem_per_s": 62.5, "ns_per_elem": 16.0}}
+    _, regs, _ = diff_rows(nbase, nnew, [], 15.0)
+    if len(regs) != 9:  # raw: every row doubled at least
+        failures += 1
+        print(f"self-test FAIL: raw cross-machine diff should flag all 9 "
+              f"metrics, got {len(regs)}")
+    lines, regs, _ = diff_rows(normalize_rows(nbase, "ref/1024"),
+                               normalize_rows(nnew, "ref/1024"), [], 15.0)
+    if len(regs) != 3 or any("slow/1024" not in ln for ln in regs):
+        failures += 1
+        print(f"self-test FAIL: normalized diff must flag exactly "
+              f"slow/1024's 3 metrics, got {len(regs)}")
+    if any("ref/1024" in ln for ln in lines):
+        failures += 1
+        print("self-test FAIL: the reference row must not compare itself")
+    try:
+        normalize_rows(nbase, "absent/1")
+        failures += 1
+        print("self-test FAIL: missing --normalize-to row must raise")
+    except ValueError:
+        pass
+
     print(f"ledger_diff --self-test: {failures} failures")
     return 0 if failures == 0 else 1
 
@@ -147,6 +219,10 @@ def main() -> int:
                          "(default: 10)")
     ap.add_argument("--warn-only", action="store_true",
                     help="always exit 0 (CI mode: report, never block)")
+    ap.add_argument("--normalize-to", default="", metavar="ROW",
+                    help="divide each metric by this row's same metric "
+                         "within each ledger before comparing (cancels "
+                         "machine speed; the row must exist in both)")
     ap.add_argument("--self-test", action="store_true")
     args = ap.parse_args()
 
@@ -158,6 +234,9 @@ def main() -> int:
     try:
         base = load_rows(Path(args.base))
         new = load_rows(Path(args.new))
+        if args.normalize_to:
+            base = normalize_rows(base, args.normalize_to)
+            new = normalize_rows(new, args.normalize_to)
     except (OSError, ValueError, json.JSONDecodeError) as e:
         print(f"ledger_diff: {e}", file=sys.stderr)
         return 2

@@ -96,6 +96,8 @@ satalgo::Algorithm parse_algorithm(const std::string& name) {
 int mode_compute(const satutil::ArgParser& args) {
   const auto rows = static_cast<std::size_t>(args.get_int("rows"));
   const auto cols = static_cast<std::size_t>(args.get_int("cols"));
+  const auto batch = static_cast<std::size_t>(args.get_int("batch"));
+  SAT_CHECK_MSG(batch > 0, "--batch must be at least 1");
   const auto input = sat::Matrix<float>::random(
       rows, cols, static_cast<std::uint64_t>(args.get_int("seed")), 0.0f, 1.0f);
   sat::Options opts;
@@ -115,6 +117,30 @@ int mode_compute(const satutil::ArgParser& args) {
   ObsRequest obs(args);
   if (obs.metrics_on()) opts.metrics = &obs.registry;
   if (obs.trace_on()) opts.trace = &obs.trace;
+  if (batch > 1) {
+    // Batched run: one launch over `batch` same-shape random images. On the
+    // CPU backend with --host-impl skss_lb this pipelines images through one
+    // claim-range scheduler; on the simulated GPU it is one batched kernel.
+    std::vector<sat::Matrix<float>> inputs;
+    inputs.reserve(batch);
+    for (std::size_t k = 0; k < batch; ++k) {
+      inputs.push_back(sat::Matrix<float>::random(
+          rows, cols, static_cast<std::uint64_t>(args.get_int("seed")) + k,
+          0.0f, 1.0f));
+    }
+    const auto bres = sat::compute_sat_batch(inputs, opts);
+    std::optional<std::string> err;
+    for (std::size_t k = 0; k < batch && !err; ++k) {
+      if (auto e = sat::validate_sat(inputs[k], bres.tables[k])) {
+        err = "image " + std::to_string(k) + ": " + *e;
+      }
+    }
+    std::printf("%s on %zu x %zux%zu: %s\n", bres.stats.algorithm.c_str(),
+                batch, rows, cols,
+                err ? err->c_str() : "all images validated against CPU oracle");
+    if (!obs.finish()) return 1;
+    return err ? 1 : 0;
+  }
   const auto result = sat::compute_sat(input, opts);
   const auto err = sat::validate_sat(input, result.table);
   if (opts.backend == sat::Backend::kCpu) {
@@ -247,6 +273,9 @@ int main(int argc, char** argv) {
   args.add("mode", "compute", "compute | cell | tune | trace | verify")
       .add("rows", "1024", "matrix rows")
       .add("cols", "1024", "matrix cols")
+      .add("batch", "1",
+           "compute mode: run this many same-shape images in one batched "
+           "launch (CPU skss_lb pipelines them through one scheduler)")
       .add("n", "1024", "matrix side (cell/trace modes)")
       .add("algorithm", "skss_lb",
            "duplicate|2r2w|2r2w_opt|2r1w|1r1w|hybrid|skss|skss_lb")

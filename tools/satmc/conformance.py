@@ -49,21 +49,34 @@ import satlint  # noqa: E402  (satlint's tokenizer is the extraction engine)
 NAMESPACE = re.compile(r"namespace\s+(\w+)\s*\{")
 FLAG_CONST = re.compile(
     r"inline\s+constexpr\s+std::uint8_t\s+k(\w+)\s*=\s*(\d+)\s*;")
-# aux.r_status.publish(self, hflag::kGs);
+# iaux.r_status.publish(self, hflag::kGs);  (`iaux` is the per-image aux of
+# the batch engine; the \w* prefix tolerates renames that keep the aux stem)
 PUBLISH_CALL = re.compile(
-    r"aux\s*\.\s*([rc])_status\s*\.\s*publish\s*\(\s*self\s*,\s*"
+    r"\w*aux\s*\.\s*([rc])_status\s*\.\s*publish\s*\(\s*self\s*,\s*"
     r"hflag::k(\w+)\s*\)")
-# lookback_accumulate(aux.r_status, ..., hflag::kLrs, hflag::kGrs, ...)
+# lookback_accumulate(iaux.r_status, ..., hflag::kLrs, hflag::kGrs, ...)
 WALK_CALL = re.compile(
-    r"lookback_accumulate\s*\(\s*aux\s*\.\s*([rc])_status\s*,.*?"
+    r"lookback_accumulate\s*\(\s*\w*aux\s*\.\s*([rc])_status\s*,.*?"
     r"hflag::k(\w+)\s*,\s*hflag::k(\w+)", re.DOTALL)
-# aux.r_status.peek(left) >= hflag::kGrs
+# iaux.r_status.peek(left) >= hflag::kGrs
 GUARD_PEEK = re.compile(
-    r"aux\s*\.\s*([rc])_status\s*\.\s*peek\s*\(\s*\w+\s*\)\s*>=\s*"
+    r"\w*aux\s*\.\s*([rc])_status\s*\.\s*peek\s*\(\s*\w+\s*\)\s*>=\s*"
     r"hflag::k(\w+)")
-# work_counter.fetch_add(1, std::memory_order_relaxed)
+# work_counter_.fetch_add(chunk_, std::memory_order_relaxed) — the claim
+# cursor lives in ClaimScheduler (src/host/lookback.hpp) since the
+# claim-range scheme replaced the engine's per-tile counter.
 CLAIM_ORDER = re.compile(
-    r"work_counter\s*\.\s*fetch_add\s*\([^)]*memory_order(?:::|_)(\w+)")
+    r"work_counter_?\s*\.\s*fetch_add\s*\([^)]*memory_order(?:::|_)(\w+)")
+# compare_exchange_weak(cur, pack(...), std::memory_order_relaxed, ...) —
+# the pop/steal CASes of ClaimScheduler.
+CLAIM_CAS_ORDER = re.compile(
+    r"compare_exchange_weak\s*\(\s*cur\s*,[^;]*?memory_order(?:::|_)(\w+)")
+# The tail-half split point of the steal.
+STEAL_SPLIT = re.compile(r"next\s*\+\s*\(\s*end\s*-\s*next\s*\)\s*/\s*2")
+# range_chunk's ceil(total / (2*workers)): the two-slices-per-worker divisor
+# and the round-up numerator.
+CHUNK_SLICES = re.compile(r"2\s*\*\s*std::max<\s*std::size_t\s*>\s*\(\s*1")
+CHUNK_CEIL = re.compile(r"\+\s*slices\s*-\s*1\s*\)\s*/\s*slices")
 # {0, rflag::kLrs},  /  {rflag::kGls, rflag::kGs},
 TRANSITION_ROW = re.compile(
     r"\{\s*(0|[rc]flag::k\w+)\s*,\s*([rc]flag::k\w+)\s*\}")
@@ -253,8 +266,27 @@ def main() -> int:
     guard = [[axis.upper(), name.upper()]
              for axis, name in GUARD_PEEK.findall(engine_text)]
     conf.expect("fast-path guard thresholds", guard, dump["fast_guard"])
-    claim = CLAIM_ORDER.findall(engine_text)
-    conf.expect("claim counter order", claim, [dump["orders"]["claim"]])
+
+    # 6. The claim-range scheduler (ClaimScheduler, lookback.hpp): cursor
+    # order, pop/steal CAS orders, the tail-half split, the chunk formula.
+    print(f"[claim scheduler] {lookback_path}")
+    lookback_text = "\n".join(lookback.code)
+    claim = CLAIM_ORDER.findall(lookback_text)
+    conf.expect("claim cursor fetch_add order", sorted(set(claim)),
+                [dump["orders"]["claim"]])
+    cas = CLAIM_CAS_ORDER.findall(lookback_text)
+    conf.expect("pop/steal CAS orders (success order per CAS)",
+                sorted(set(cas)), [dump["orders"]["steal"]])
+    conf.expect("steal takes the tail half",
+                "tail-half cas" if STEAL_SPLIT.search(lookback_text)
+                else "absent", dump["claim"]["steal"])
+    chunk_code = "ceil(total / (2 * workers))" \
+        if CHUNK_SLICES.search(lookback_text) and \
+        CHUNK_CEIL.search(lookback_text) else "absent"
+    conf.expect("range chunk formula", chunk_code, dump["claim"]["chunk"])
+    conf.expect("claim cursor name",
+                "work_counter_" if "work_counter_" in lookback_text
+                else "absent", dump["claim"]["cursor"])
 
     print(f"conformance: {conf.checked} facts checked, "
           f"{len(conf.errors)} mismatches")

@@ -44,7 +44,8 @@ struct MutationCase {
 
 // Smallest configurations that expose each seeded bug (2×2 needs a third
 // worker for the read bugs: with two workers no in-flight LRS is ever read
-// before its writer finishes).
+// before its writer finishes; 2×2 with two workers suffices for the steal
+// lost-update, whose double-popped serial lands on one tile's dst twice).
 constexpr MutationCase kMutationCases[] = {
     {Mutation::kFlagBeforeData, "flag-before-data", 2, 2, 3,
      Verdict::kReadUnwritten},
@@ -52,6 +53,7 @@ constexpr MutationCase kMutationCases[] = {
      Verdict::kDeadlock},
     {Mutation::kDroppedRelease, "dropped-release", 2, 2, 3,
      Verdict::kReadUnreleased},
+    {Mutation::kRacySteal, "racy-steal", 2, 2, 2, Verdict::kDstRewrite},
 };
 
 Mutation parse_mutation(const std::string& name) {
@@ -120,7 +122,7 @@ bool emit_schedule(const std::string& path, const Model& m,
 // fact here is asserted against the real headers by conformance.py — edit
 // the model and this dump together or the satmc_conformance ctest fails.
 void dump_model() {
-  std::printf(R"({
+  std::printf(R"json({
   "tool": "satmc",
   "version": 1,
   "flags": {
@@ -143,9 +145,18 @@ void dump_model() {
     {"axis": "R", "local": "GLS", "global": "GS"}
   ],
   "fast_guard": [["R", "GRS"], ["C", "GCS"], ["R", "GS"]],
-  "orders": {"publish": "release", "observe": "acquire", "claim": "relaxed"}
+  "claim": {
+    "scheme": "chunked-range-steal",
+    "chunk": "ceil(total / (2 * workers))",
+    "pop": "own-span cas",
+    "refill": "cursor fetch_add",
+    "steal": "tail-half cas",
+    "cursor": "work_counter_"
+  },
+  "orders": {"publish": "release", "observe": "acquire", "claim": "relaxed",
+             "steal": "relaxed"}
 }
-)");
+)json");
 }
 
 int run_verify(std::size_t max_grid, std::size_t max_workers, bool symmetry) {
