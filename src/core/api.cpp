@@ -84,49 +84,71 @@ Result<T> compute_on_simulated_gpu(const Matrix<T>& input,
   return result;
 }
 
+// Resolves the thread pool a CPU-backend call runs on: the caller-owned
+// Options::pool when set (a server reusing one pool across requests —
+// the owner configures its observability, we leave set_obs alone), else a
+// per-call pool wired to the call's obs pointers.
+class PoolRef {
+ public:
+  explicit PoolRef(const Options& opts) {
+    if (opts.pool != nullptr) {
+      pool_ = opts.pool;
+    } else {
+      owned_ = std::make_unique<sathost::ThreadPool>(opts.cpu_threads);
+      owned_->set_obs(opts.metrics, opts.trace);
+      pool_ = owned_.get();
+    }
+  }
+  sathost::ThreadPool& get() { return *pool_; }
+
+ private:
+  sathost::ThreadPool* pool_ = nullptr;
+  std::unique_ptr<sathost::ThreadPool> owned_;
+};
+
+/// The engine dispatch shared by the Matrix and Span2d entry points.
 template <class T>
-Result<T> compute_on_cpu(const Matrix<T>& input, const Options& opts) {
-  Result<T> result;
-  result.table = Matrix<T>(input.rows(), input.cols());
+std::string run_cpu_engine(satutil::Span2d<const T> src, satutil::Span2d<T> dst,
+                           const Options& opts) {
   switch (opts.cpu_engine) {
     case CpuEngine::kSequential:
-      sathost::sat_sequential<T>(input.view(), result.table.view());
-      result.stats.algorithm = "cpu-sequential";
-      return result;
+      sathost::sat_sequential<T>(src, dst);
+      return "cpu-sequential";
     case CpuEngine::kSimd:
-      sathost::sat_simd<T>(input.view(), result.table.view(),
-                           /*tile=*/4096, opts.metrics);
-      result.stats.algorithm = "cpu-simd";
-      return result;
+      sathost::sat_simd<T>(src, dst, /*tile=*/4096, opts.metrics);
+      return "cpu-simd";
     case CpuEngine::kParallel: {
-      sathost::ThreadPool pool(opts.cpu_threads);
-      pool.set_obs(opts.metrics, opts.trace);
-      sathost::sat_parallel<T>(pool, input.view(), result.table.view());
-      result.stats.algorithm = "cpu-parallel";
-      return result;
+      PoolRef pool(opts);
+      sathost::sat_parallel<T>(pool.get(), src, dst);
+      return "cpu-parallel";
     }
     case CpuEngine::kWavefront: {
-      sathost::ThreadPool pool(opts.cpu_threads);
-      pool.set_obs(opts.metrics, opts.trace);
-      sathost::sat_wavefront<T>(pool, input.view(), result.table.view(),
+      PoolRef pool(opts);
+      sathost::sat_wavefront<T>(pool.get(), src, dst,
                                 opts.cpu_tile_w != 0 ? opts.cpu_tile_w : 128);
-      result.stats.algorithm = "cpu-wavefront";
-      return result;
+      return "cpu-wavefront";
     }
     case CpuEngine::kSkssLb: {
-      sathost::ThreadPool pool(opts.cpu_threads);
-      pool.set_obs(opts.metrics, opts.trace);
+      PoolRef pool(opts);
       sathost::SkssLbOptions lb;
       lb.tile_w = opts.cpu_tile_w;
       lb.metrics = opts.metrics;
       lb.trace = opts.trace;
-      sathost::sat_skss_lb<T>(pool, input.view(), result.table.view(), lb);
-      result.stats.algorithm = "cpu-skss-lb";
-      return result;
+      sathost::sat_skss_lb<T>(pool.get(), src, dst, lb);
+      return "cpu-skss-lb";
     }
   }
   SAT_CHECK_MSG(false, "unknown cpu engine");
   return {};
+}
+
+template <class T>
+Result<T> compute_on_cpu(const Matrix<T>& input, const Options& opts) {
+  Result<T> result;
+  result.table = Matrix<T>(input.rows(), input.cols());
+  result.stats.algorithm =
+      run_cpu_engine<T>(input.view(), result.table.view(), opts);
+  return result;
 }
 
 // Batched host computation. The paper's engine gets the real pipeline —
@@ -141,36 +163,51 @@ BatchResult<T> compute_batch_on_cpu(const std::vector<Matrix<T>>& inputs,
   result.tables.reserve(inputs.size());
   for (const auto& m : inputs) result.tables.emplace_back(m.rows(), m.cols());
 
-  if (opts.cpu_engine == CpuEngine::kSkssLb) {
-    sathost::ThreadPool pool(opts.cpu_threads);
-    pool.set_obs(opts.metrics, opts.trace);
-    sathost::SkssLbOptions lb;
-    lb.tile_w = opts.cpu_tile_w;
-    lb.metrics = opts.metrics;
-    lb.trace = opts.trace;
-    std::vector<satutil::Span2d<const T>> srcs;
-    std::vector<satutil::Span2d<T>> dsts;
-    srcs.reserve(inputs.size());
-    dsts.reserve(inputs.size());
-    for (std::size_t k = 0; k < inputs.size(); ++k) {
-      srcs.push_back(inputs[k].view());
-      dsts.push_back(result.tables[k].view());
-    }
-    sathost::sat_skss_lb_batch<T>(pool, srcs, dsts, lb);
-    result.stats.algorithm = "cpu-skss-lb-batch";
-    return result;
-  }
-
-  Options per_image = opts;
+  std::vector<satutil::Span2d<const T>> srcs;
+  std::vector<satutil::Span2d<T>> dsts;
+  srcs.reserve(inputs.size());
+  dsts.reserve(inputs.size());
   for (std::size_t k = 0; k < inputs.size(); ++k) {
-    Result<T> r = compute_on_cpu(inputs[k], per_image);
-    result.tables[k] = std::move(r.table);
-    result.stats.algorithm = std::move(r.stats.algorithm) + "-batch";
+    srcs.push_back(inputs[k].view());
+    dsts.push_back(result.tables[k].view());
   }
+  result.stats = compute_sat_batch_into<T>(srcs, dsts, opts);
   return result;
 }
 
 }  // namespace
+
+template <class T>
+Stats compute_sat_batch_into(
+    const std::vector<satutil::Span2d<const T>>& inputs,
+    const std::vector<satutil::Span2d<T>>& outputs, const Options& opts) {
+  SAT_CHECK_MSG(opts.backend == Backend::kCpu,
+                "compute_sat_batch_into is CPU-only (the simulated device "
+                "owns its buffers)");
+  SAT_CHECK_MSG(!inputs.empty(), "empty batch");
+  SAT_CHECK_MSG(inputs.size() == outputs.size(),
+                "inputs/outputs batch size mismatch");
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    SAT_CHECK_MSG(outputs[k].rows() == inputs[k].rows() &&
+                      outputs[k].cols() == inputs[k].cols(),
+                  "output " << k << " shape mismatch");
+  }
+  Stats stats;
+  if (opts.cpu_engine == CpuEngine::kSkssLb) {
+    PoolRef pool(opts);
+    sathost::SkssLbOptions lb;
+    lb.tile_w = opts.cpu_tile_w;
+    lb.metrics = opts.metrics;
+    lb.trace = opts.trace;
+    sathost::sat_skss_lb_batch<T>(pool.get(), inputs, outputs, lb);
+    stats.algorithm = "cpu-skss-lb-batch";
+    return stats;
+  }
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    stats.algorithm = run_cpu_engine<T>(inputs[k], outputs[k], opts) + "-batch";
+  }
+  return stats;
+}
 
 template <class T>
 Result<T> compute_sat(const Matrix<T>& input, const Options& opts) {
@@ -359,6 +396,19 @@ template BatchResult<std::int32_t> compute_sat_batch<std::int32_t>(
     const std::vector<Matrix<std::int32_t>>&, const Options&);
 template BatchResult<std::int64_t> compute_sat_batch<std::int64_t>(
     const std::vector<Matrix<std::int64_t>>&, const Options&);
+
+template Stats compute_sat_batch_into<float>(
+    const std::vector<satutil::Span2d<const float>>&,
+    const std::vector<satutil::Span2d<float>>&, const Options&);
+template Stats compute_sat_batch_into<double>(
+    const std::vector<satutil::Span2d<const double>>&,
+    const std::vector<satutil::Span2d<double>>&, const Options&);
+template Stats compute_sat_batch_into<std::int32_t>(
+    const std::vector<satutil::Span2d<const std::int32_t>>&,
+    const std::vector<satutil::Span2d<std::int32_t>>&, const Options&);
+template Stats compute_sat_batch_into<std::int64_t>(
+    const std::vector<satutil::Span2d<const std::int64_t>>&,
+    const std::vector<satutil::Span2d<std::int64_t>>&, const Options&);
 
 template std::vector<float> inclusive_scan<float>(const std::vector<float>&,
                                                   const Options&);

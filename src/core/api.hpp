@@ -25,6 +25,10 @@ class Registry;
 class TraceSink;
 }  // namespace obs
 
+namespace sathost {
+class ThreadPool;
+}  // namespace sathost
+
 namespace sat {
 
 enum class Backend {
@@ -67,6 +71,16 @@ struct Options {
   /// (kWavefront: 128; kSkssLb: automatic worker-count-scaled width, see
   /// sathost::SkssLbOptions::tile_w).
   std::size_t cpu_tile_w = 0;
+
+  /// CPU backend: an external, caller-owned thread pool. Null (the default)
+  /// makes each call construct its own `cpu_threads`-wide pool — fine for
+  /// one-shot use, but a long-running server (tools/satd) pays thread
+  /// start-up on every request that way. When set, the call runs on this
+  /// pool instead and `cpu_threads` is ignored; the pool's observability
+  /// (ThreadPool::set_obs) is the owner's to configure and is NOT
+  /// overwritten (engine-level hooks still honor `metrics`/`trace` below).
+  /// The pool must outlive the call and must not be running another batch.
+  sathost::ThreadPool* pool = nullptr;
 
   /// Optional soft-sync protocol verifier (not owned). When set, the
   /// simulated-GPU backend records a happens-before graph of the run and
@@ -143,6 +157,21 @@ struct BatchResult {
 template <class T>
 BatchResult<T> compute_sat_batch(const std::vector<Matrix<T>>& inputs,
                                  const Options& opts = {});
+
+/// Computes the SATs of a batch of equally-shaped images directly into
+/// caller-owned output views — the service hot path (tools/satd): no
+/// per-request Matrix allocation or result copy, and with Options::pool set
+/// no per-request thread creation either. CPU backend only (the simulated
+/// device owns its buffers; Options::backend must be kCpu). With
+/// cpu_engine == kSkssLb the whole batch shares ONE claim-range scheduler
+/// pass, so tiles of image k+1 pipeline behind the draining tail of image
+/// k (sathost::sat_skss_lb_batch); other engines run image-at-a-time on
+/// the same pool. Each outputs[b] must match inputs[b]'s shape and not
+/// alias it. All inputs must share one shape when cpu_engine == kSkssLb.
+template <class T>
+Stats compute_sat_batch_into(
+    const std::vector<satutil::Span2d<const T>>& inputs,
+    const std::vector<satutil::Span2d<T>>& outputs, const Options& opts = {});
 
 /// Device-wide inclusive prefix sum of a 1-D array using the
 /// Merrill–Garland single-pass look-back scan [10,11] on the simulated GPU.

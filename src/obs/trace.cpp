@@ -65,6 +65,22 @@ void TraceSink::instant(int pid, std::uint64_t tid, std::string_view name,
                           std::string(cat), std::move(args_json)});
 }
 
+void TraceSink::async_begin(int pid, std::uint64_t id, std::string_view name,
+                            std::string_view cat, double ts_us,
+                            std::string args_json) {
+  std::lock_guard lock(mu_);
+  events_.push_back(Event{'b', pid, id, ts_us, 0.0, std::string(name),
+                          std::string(cat), std::move(args_json)});
+}
+
+void TraceSink::async_end(int pid, std::uint64_t id, std::string_view name,
+                          std::string_view cat, double ts_us,
+                          std::string args_json) {
+  std::lock_guard lock(mu_);
+  events_.push_back(Event{'e', pid, id, ts_us, 0.0, std::string(name),
+                          std::string(cat), std::move(args_json)});
+}
+
 double TraceSink::now_host_us() const {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - t0_)
@@ -81,13 +97,22 @@ void TraceSink::write(std::ostream& os) const {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const Event& e = events_[i];
+    const bool is_async = e.ph == 'b' || e.ph == 'e';
     os << "{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"" << e.ph
-       << "\",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
-    if (e.ph == 'X' || e.ph == 'i') {
+       << "\",\"pid\":" << e.pid << ",\"tid\":" << (is_async ? 0 : e.tid);
+    if (e.ph == 'X' || e.ph == 'i' || is_async) {
       os << ",\"cat\":\"" << json_escape(e.cat)
          << "\",\"ts\":" << format_ts(e.ts_us);
       if (e.ph == 'X') os << ",\"dur\":" << format_ts(e.dur_us);
       if (e.ph == 'i') os << ",\"s\":\"t\"";
+      if (is_async) {
+        // Correlation id, hex per the trace_events convention. Perfetto
+        // groups 'b'/'e' pairs by (pid, cat, id).
+        char idbuf[24];
+        std::snprintf(idbuf, sizeof idbuf, "0x%llx",
+                      static_cast<unsigned long long>(e.tid));
+        os << ",\"id\":\"" << idbuf << "\"";
+      }
     }
     if (!e.args_json.empty()) os << ",\"args\":" << e.args_json;
     os << '}' << (i + 1 < events_.size() ? "," : "") << '\n';

@@ -48,6 +48,19 @@ class TraceSink {
   void instant(int pid, std::uint64_t tid, std::string_view name,
                std::string_view cat, double ts_us, std::string args_json = {});
 
+  /// Nestable async span begin/end (`ph:"b"` / `ph:"e"`). Unlike complete
+  /// spans these are keyed by (cat, id), not by thread, so one logical
+  /// operation that hops threads — a satd request travelling
+  /// reader → queue → dispatcher — renders as a single track row in
+  /// Perfetto. `id` is the correlation key (tools/satd passes the request's
+  /// trace id); begin and end must use the same pid, cat, and id.
+  void async_begin(int pid, std::uint64_t id, std::string_view name,
+                   std::string_view cat, double ts_us,
+                   std::string args_json = {});
+  void async_end(int pid, std::uint64_t id, std::string_view name,
+                 std::string_view cat, double ts_us,
+                 std::string args_json = {});
+
   /// Host-side clock: wall microseconds since this sink was created.
   [[nodiscard]] double now_host_us() const;
 
@@ -62,9 +75,9 @@ class TraceSink {
 
  private:
   struct Event {
-    char ph;  ///< 'X' complete, 'i' instant, 'M' metadata
+    char ph;  ///< 'X' complete, 'i' instant, 'M' metadata, 'b'/'e' async
     int pid;
-    std::uint64_t tid;
+    std::uint64_t tid;  ///< thread lane ('X'/'i') or correlation id ('b'/'e')
     double ts_us;
     double dur_us;
     std::string name;

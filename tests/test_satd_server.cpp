@@ -1,0 +1,405 @@
+// satd server end-to-end over real loopback sockets: concurrent clients
+// get bit-exact results vs the sat_sequential oracle, a full admission
+// queue replies with the documented OVERLOADED code instead of hanging,
+// draining resumes acceptance, the HTTP shim serves the obs registry, and
+// per-request trace IDs come out as 'b'/'e' async events.
+//
+// Every server binds port 0 (ephemeral), so parallel ctest runs never
+// collide.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "host/sat_cpu.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "tools/satd/client.hpp"
+#include "tools/satd/server.hpp"
+
+namespace {
+
+using satd::Dtype;
+using satd::ErrorCode;
+using satd::Frame;
+using satd::Type;
+
+/// Sends one COMPUTE and asserts the RESULT matches sat_sequential.
+template <class T>
+void roundtrip_one(satd::Client& client, std::uint64_t trace_id,
+                   std::uint32_t rows, std::uint32_t cols, Dtype dtype,
+                   std::uint64_t seed) {
+  const auto input = sat::Matrix<T>::random(rows, cols, seed);
+  ASSERT_TRUE(client.send(Type::kCompute, trace_id,
+                          satd::encode_matrix_payload(rows, cols, dtype,
+                                                      input.view().data())));
+  Frame reply;
+  ASSERT_TRUE(client.recv(reply));
+  ASSERT_EQ(reply.type, Type::kResult) << "trace " << trace_id;
+  EXPECT_EQ(reply.trace_id, trace_id);
+
+  satd::MatrixPayload m;
+  ASSERT_TRUE(satd::parse_matrix_payload(reply.payload, m));
+  ASSERT_EQ(m.rows, rows);
+  ASSERT_EQ(m.cols, cols);
+
+  sat::Matrix<T> expected(rows, cols);
+  sathost::sat_sequential<T>(input.view(), expected.view());
+  // Integral dtypes are bit-exact regardless of tile/batch schedule.
+  EXPECT_EQ(std::memcmp(m.data, expected.view().data(),
+                        std::size_t{rows} * cols * sizeof(T)),
+            0)
+      << rows << "x" << cols << " trace " << trace_id;
+}
+
+TEST(SatdServer, PingPong) {
+  satd::Server server({});
+  ASSERT_TRUE(server.start());
+  satd::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  ASSERT_TRUE(client.send(Type::kPing, 123));
+  Frame reply;
+  ASSERT_TRUE(client.recv(reply));
+  EXPECT_EQ(reply.type, Type::kPong);
+  EXPECT_EQ(reply.trace_id, 123u);
+  server.stop();
+}
+
+TEST(SatdServer, ConcurrentClientsMatchSequentialOracle) {
+  satd::ServerOptions opts;
+  opts.cpu_threads = 2;
+  opts.batch_max = 4;
+  satd::Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  // 4 concurrent connections x 6 requests of mixed shapes and dtypes —
+  // the randomized differential test of the whole pipeline: framing,
+  // admission, shape coalescing, batch engine, reply routing.
+  constexpr int kClients = 4;
+  constexpr int kRequests = 6;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      satd::Client client;
+      ASSERT_TRUE(client.connect(server.port()));
+      for (int i = 0; i < kRequests; ++i) {
+        const std::uint64_t trace_id =
+            (std::uint64_t(c + 1) << 32) | std::uint64_t(i);
+        const std::uint64_t seed = 100 * std::uint64_t(c) + std::uint64_t(i);
+        switch (i % 3) {
+          case 0:
+            roundtrip_one<std::int32_t>(client, trace_id, 64, 64, Dtype::kI32,
+                                        seed);
+            break;
+          case 1:
+            roundtrip_one<std::int32_t>(client, trace_id, 33, 57, Dtype::kI32,
+                                        seed);
+            break;
+          default:
+            roundtrip_one<std::int64_t>(client, trace_id, 48, 16, Dtype::kI64,
+                                        seed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const obs::Snapshot snap = server.registry().snapshot();
+  const std::uint64_t* reqs = snap.counter("satd.requests_total");
+  const std::uint64_t* resps = snap.counter("satd.responses_total");
+  ASSERT_NE(reqs, nullptr);
+  ASSERT_NE(resps, nullptr);
+  EXPECT_EQ(*reqs, std::uint64_t(kClients) * kRequests);
+  EXPECT_EQ(*resps, std::uint64_t(kClients) * kRequests);
+  server.stop();
+}
+
+TEST(SatdServer, PipelinedSameShapeBurstCoalesces) {
+  satd::ServerOptions opts;
+  opts.batch_max = 8;
+  satd::Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  satd::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  constexpr int kBurst = 8;
+  std::vector<sat::Matrix<std::int32_t>> inputs;
+  for (int i = 0; i < kBurst; ++i) {
+    inputs.push_back(sat::Matrix<std::int32_t>::random(40, 40, 500 + i));
+    ASSERT_TRUE(client.send(
+        Type::kCompute, std::uint64_t(i + 1),
+        satd::encode_matrix_payload(40, 40, Dtype::kI32,
+                                    inputs.back().view().data())));
+  }
+  std::vector<bool> seen(kBurst, false);
+  for (int i = 0; i < kBurst; ++i) {
+    Frame reply;
+    ASSERT_TRUE(client.recv(reply));
+    ASSERT_EQ(reply.type, Type::kResult);
+    ASSERT_GE(reply.trace_id, 1u);
+    ASSERT_LE(reply.trace_id, std::uint64_t(kBurst));
+    const auto idx = static_cast<std::size_t>(reply.trace_id - 1);
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+
+    satd::MatrixPayload m;
+    ASSERT_TRUE(satd::parse_matrix_payload(reply.payload, m));
+    sat::Matrix<std::int32_t> expected(40, 40);
+    sathost::sat_sequential<std::int32_t>(inputs[idx].view(),
+                                          expected.view());
+    EXPECT_EQ(std::memcmp(m.data, expected.view().data(), 40 * 40 * 4), 0);
+  }
+
+  // The burst was pipelined onto one connection, so at least one batch
+  // must have held more than one job.
+  const obs::Snapshot snap = server.registry().snapshot();
+  const std::uint64_t* batches = snap.counter("satd.batches_total");
+  ASSERT_NE(batches, nullptr);
+  EXPECT_LT(*batches, std::uint64_t(kBurst));
+  server.stop();
+}
+
+TEST(SatdServer, FullQueueRepliesOverloadedAndDrainResumes) {
+  // A dispatch hook that blocks until released: with dispatch frozen, the
+  // queue (capacity 2) fills deterministically and the third request must
+  // get the documented backpressure reply, not a hang.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+
+  satd::ServerOptions opts;
+  opts.queue_cap = 2;
+  opts.dispatch_hook = [&] {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return released; });
+  };
+  satd::Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  satd::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  const auto input = sat::Matrix<std::int32_t>::random(16, 16, 1);
+  const auto payload = satd::encode_matrix_payload(
+      16, 16, Dtype::kI32, input.view().data());
+  for (std::uint64_t id = 1; id <= 3; ++id)
+    ASSERT_TRUE(client.send(Type::kCompute, id, payload));
+
+  // The reader admits 1 and 2, then finds the queue full: the first (and
+  // only) reply so far must be the id-3 rejection.
+  Frame reply;
+  ASSERT_TRUE(client.recv(reply));
+  EXPECT_EQ(reply.type, Type::kError);
+  EXPECT_EQ(reply.trace_id, 3u);
+  satd::ErrorPayload err;
+  ASSERT_TRUE(satd::parse_error_payload(reply.payload, err));
+  EXPECT_EQ(err.code, ErrorCode::kOverloaded);
+
+  {
+    std::lock_guard lock(mu);
+    released = true;
+  }
+  cv.notify_all();
+
+  // Draining must answer the two admitted jobs...
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.recv(reply));
+    EXPECT_EQ(reply.type, Type::kResult);
+  }
+  // ...and resume acceptance afterwards.
+  ASSERT_TRUE(client.send(Type::kCompute, 4, payload));
+  ASSERT_TRUE(client.recv(reply));
+  EXPECT_EQ(reply.type, Type::kResult);
+  EXPECT_EQ(reply.trace_id, 4u);
+
+  const obs::Snapshot snap = server.registry().snapshot();
+  const std::uint64_t* rejected =
+      snap.counter("satd.rejected_overload_total");
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(*rejected, 1u);
+  server.stop();
+}
+
+TEST(SatdServer, MalformedComputeKeepsConnectionUsable) {
+  satd::Server server({});
+  ASSERT_TRUE(server.start());
+  satd::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+
+  // dtype byte 0x55 is unknown: UNSUPPORTED, but framing is intact so the
+  // connection must survive.
+  const std::int32_t vals[4] = {1, 2, 3, 4};
+  auto payload = satd::encode_matrix_payload(2, 2, Dtype::kI32, vals);
+  payload[8] = 0x55;
+  ASSERT_TRUE(client.send(Type::kCompute, 9, payload));
+  Frame reply;
+  ASSERT_TRUE(client.recv(reply));
+  EXPECT_EQ(reply.type, Type::kError);
+  satd::ErrorPayload err;
+  ASSERT_TRUE(satd::parse_error_payload(reply.payload, err));
+  EXPECT_EQ(err.code, ErrorCode::kUnsupported);
+
+  ASSERT_TRUE(client.send(Type::kPing, 10));
+  ASSERT_TRUE(client.recv(reply));
+  EXPECT_EQ(reply.type, Type::kPong);
+  server.stop();
+}
+
+TEST(SatdServer, GarbageBytesGetBadFrameThenDisconnect) {
+  satd::Server server({});
+  ASSERT_TRUE(server.start());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  // A plausible length prefix followed by garbage where the magic belongs.
+  const std::uint8_t junk[] = {0x20, 0, 0, 0, 'j', 'u', 'n', 'k',
+                               1,    0, 1, 0, 0,   0,   0,   0,
+                               0,    0, 0, 0, 0,   0,   0,   0,
+                               0,    0, 0, 0, 0,   0,   0,   0,
+                               0,    0, 0, 0};
+  ASSERT_EQ(::send(fd, junk, sizeof junk, MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof junk));
+
+  // Expect one ERROR(kBadFrame) frame, then EOF.
+  std::vector<std::uint8_t> buf;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+
+  Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(satd::decode_frame(buf.data(), buf.size(), frame, consumed),
+            satd::DecodeStatus::kOk);
+  EXPECT_EQ(frame.type, Type::kError);
+  satd::ErrorPayload err;
+  ASSERT_TRUE(satd::parse_error_payload(frame.payload, err));
+  EXPECT_EQ(err.code, ErrorCode::kBadFrame);
+  EXPECT_EQ(consumed, buf.size()) << "nothing should follow the error";
+
+  const obs::Snapshot snap = server.registry().snapshot();
+  const std::uint64_t* bad = snap.counter("satd.bad_frames_total");
+  ASSERT_NE(bad, nullptr);
+  EXPECT_EQ(*bad, 1u);
+  server.stop();
+}
+
+TEST(SatdServer, HttpShimServesMetricsAndHealth) {
+  satd::Server server({});
+  ASSERT_TRUE(server.start());
+
+  satd::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  roundtrip_one<std::int32_t>(client, 77, 32, 32, Dtype::kI32, 3);
+
+  const auto http_get = [&](const std::string& path) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.http_port());
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof addr),
+              0);
+    const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+    EXPECT_EQ(::send(fd, req.data(), req.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(req.size()));
+    std::string out;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) break;
+      out.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  };
+
+  const std::string health = http_get("/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string metrics = http_get("/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("application/json"), std::string::npos);
+  EXPECT_NE(metrics.find("\"satd.requests_total\":1"), std::string::npos);
+  EXPECT_NE(metrics.find("\"satd.responses_total\":1"), std::string::npos);
+  EXPECT_NE(metrics.find("satd.request_us"), std::string::npos);
+  // The engine publishes into the same registry: host.* appears beside
+  // satd.* exactly as docs/satd.md promises.
+  EXPECT_NE(metrics.find("host.lookback.tiles_retired"), std::string::npos);
+
+  EXPECT_NE(http_get("/nope").find("404"), std::string::npos);
+  server.stop();
+}
+
+TEST(SatdServer, TraceIdsComeOutAsAsyncEvents) {
+  obs::TraceSink trace;
+  satd::ServerOptions opts;
+  opts.trace = &trace;
+  satd::Server server(opts);
+  ASSERT_TRUE(server.start());
+
+  satd::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  roundtrip_one<std::int32_t>(client, 0xFEEDBEEFull, 24, 24, Dtype::kI32, 4);
+  server.stop();
+
+  std::ostringstream os;
+  trace.write(os);
+  const std::string json = os.str();
+  // One 'b'/'e' pair keyed by the request's trace id, in the "satd"
+  // category (the Perfetto correlation workflow in docs/satd.md).
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"0xfeedbeef\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"satd\""), std::string::npos);
+}
+
+TEST(SatdServer, ShutdownFrameDrainsAndRejectsNewWork) {
+  satd::Server server({});
+  ASSERT_TRUE(server.start());
+
+  satd::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  ASSERT_TRUE(client.send(Type::kShutdown, 1));
+  Frame reply;
+  ASSERT_TRUE(client.recv(reply));
+  EXPECT_EQ(reply.type, Type::kPong);  // the shutdown ack
+
+  // Post-shutdown COMPUTEs are refused with the draining code.
+  const auto input = sat::Matrix<std::int32_t>::random(8, 8, 9);
+  ASSERT_TRUE(client.send(Type::kCompute, 2,
+                          satd::encode_matrix_payload(
+                              8, 8, Dtype::kI32, input.view().data())));
+  ASSERT_TRUE(client.recv(reply));
+  EXPECT_EQ(reply.type, Type::kError);
+  satd::ErrorPayload err;
+  ASSERT_TRUE(satd::parse_error_payload(reply.payload, err));
+  EXPECT_EQ(err.code, ErrorCode::kShuttingDown);
+  server.stop();
+}
+
+}  // namespace

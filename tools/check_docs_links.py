@@ -16,11 +16,16 @@ other tracked *.md at the top level) for inline links and validates every
 External links (http/https/mailto) are not fetched — CI must not depend
 on the network. Exit status is the number of broken links.
 
-Usage: tools/check_docs_links.py [repo_root]
+Usage: tools/check_docs_links.py [repo_root] [--require PATH]...
+
+`--require` (repeatable) names docs that must exist AND be reachable from
+README.md — CI pins the documentation a PR promises (e.g. docs/satd.md)
+so a later rename or de-linking fails loudly instead of orphaning it.
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
@@ -87,7 +92,20 @@ def iter_links(path: Path):
 
 
 def main() -> int:
-    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    parser = argparse.ArgumentParser(
+        description="Intra-repo markdown link checker."
+    )
+    parser.add_argument("root", nargs="?", default=".")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="repo-relative doc that must exist and be README-reachable "
+        "(repeatable)",
+    )
+    args = parser.parse_args()
+    root = Path(args.root).resolve()
     files = markdown_files(root)
     if not files:
         print(f"check_docs_links: no markdown under {root}", file=sys.stderr)
@@ -122,8 +140,8 @@ def main() -> int:
     # the README graph (directly or through another reachable page) — a doc
     # nobody can navigate to is as good as deleted.
     readme = root / "README.md"
+    reachable: set[Path] = set()
     if readme.exists():
-        reachable: set[Path] = set()
         frontier = [readme]
         while frontier:
             f = frontier.pop()
@@ -143,6 +161,13 @@ def main() -> int:
                 errors.append(
                     f"{f.relative_to(root)}: not reachable from README.md"
                 )
+
+    for req in args.require:
+        dest = (root / req).resolve()
+        if not dest.exists():
+            errors.append(f"--require {req}: file does not exist")
+        elif dest not in reachable:
+            errors.append(f"--require {req}: not reachable from README.md")
 
     for e in errors:
         print(e, file=sys.stderr)

@@ -24,6 +24,8 @@
 #include "host/sat_wavefront.hpp"
 #include "host/thread_pool.hpp"
 #include "model/table3.hpp"
+#include "tools/satd/client.hpp"
+#include "tools/satd/server.hpp"
 #include "util/argparse.hpp"
 
 namespace {
@@ -202,6 +204,62 @@ std::vector<Record> run_host_benches(bool smoke) {
       std::printf("  %-28s %10.3f ms  %9.1f Melem/s\n", r.name.c_str(),
                   r.wall_ms, r.melem_per_s());
       out.push_back(r);
+    }
+    // Service-overhead row: the same 8-image batch as skss_lb_batch8, but
+    // client → satd → batch engine over a loopback socket — framing, queue
+    // admission, shape coalescing, result streaming. The delta against the
+    // direct-call row is what the daemon costs (docs/satd.md). Warn-only
+    // in ledger_diff like every host_sat/*/1024 row.
+    if (n == 1024) {
+      constexpr std::size_t kBatch = 8;
+      satd::ServerOptions sopts;
+      sopts.batch_max = kBatch;
+      sopts.queue_cap = 2 * kBatch;
+      satd::Server server(sopts);
+      if (!server.start()) {
+        std::fprintf(stderr, "  satd_loopback: server start failed, "
+                             "skipping row\n");
+      } else {
+        satd::Client client;
+        if (!client.connect(server.port())) {
+          std::fprintf(stderr, "  satd_loopback: connect failed, "
+                               "skipping row\n");
+        } else {
+          std::vector<std::vector<std::uint8_t>> payloads;
+          for (std::size_t k = 0; k < kBatch; ++k) {
+            const auto img =
+                sat::Matrix<float>::random(n, n, 2 + k, 0.0f, 1.0f);
+            payloads.push_back(satd::encode_matrix_payload(
+                static_cast<std::uint32_t>(n), static_cast<std::uint32_t>(n),
+                satd::Dtype::kF32, img.view().data()));
+          }
+          Record r;
+          r.name = "host_sat/satd_loopback/" + std::to_string(n);
+          r.impl = "satd_loopback";
+          r.dtype = "f32";
+          r.n = n;
+          r.elems = kBatch * n * n;
+          r.iterations = iterations_for(n, smoke);
+          r.wall_ms = satbench::time_best_ms(r.iterations, [&] {
+            // Pipelined burst: all requests in flight before any reply is
+            // read, so the whole batch coalesces into one engine pass.
+            for (std::size_t k = 0; k < kBatch; ++k) {
+              if (!client.send(satd::Type::kCompute, k + 1, payloads[k]))
+                std::abort();
+            }
+            for (std::size_t k = 0; k < kBatch; ++k) {
+              satd::Frame reply;
+              if (!client.recv(reply) || reply.type != satd::Type::kResult)
+                std::abort();
+            }
+          });
+          r.metrics_json = server.registry().snapshot().to_json();
+          std::printf("  %-28s %10.3f ms  %9.1f Melem/s\n", r.name.c_str(),
+                      r.wall_ms, r.melem_per_s());
+          out.push_back(r);
+        }
+      }
+      server.stop();
     }
   }
   if (!smoke) {

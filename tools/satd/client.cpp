@@ -1,0 +1,73 @@
+#include "tools/satd/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace satd {
+
+Client::~Client() { close(); }
+
+bool Client::connect(std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::send(Type type, std::uint64_t trace_id,
+                  const std::vector<std::uint8_t>& payload) {
+  if (fd_ < 0) return false;
+  const auto bytes = encode_frame(type, trace_id, payload);
+  const std::uint8_t* p = bytes.data();
+  std::size_t len = bytes.size();
+  while (len > 0) {
+    const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::recv(Frame& out) {
+  if (fd_ < 0) return false;
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    std::size_t consumed = 0;
+    const DecodeStatus st =
+        decode_frame(buf_.data(), buf_.size(), out, consumed);
+    if (st == DecodeStatus::kOk) {
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+      return true;
+    }
+    if (st != DecodeStatus::kNeedMore) return false;
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buf_.insert(buf_.end(), chunk, chunk + n);
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buf_.clear();
+}
+
+}  // namespace satd

@@ -1,0 +1,44 @@
+// Minimal blocking satd client: one TCP connection, frame send/receive.
+// Used by the satd-client load/correctness driver, the e2e tests, and the
+// satd_loopback bench row. Requests may be pipelined: send any number of
+// frames, then read the replies — the server preserves nothing about
+// ordering across shapes (batching reorders), so callers match replies to
+// requests by trace_id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tools/satd/protocol.hpp"
+
+namespace satd {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:`port`. Returns false on failure.
+  [[nodiscard]] bool connect(std::uint16_t port);
+
+  /// Sends one frame (blocking until fully written).
+  [[nodiscard]] bool send(Type type, std::uint64_t trace_id,
+                          const std::vector<std::uint8_t>& payload = {});
+
+  /// Blocks for the next complete frame. Returns false on EOF / error /
+  /// protocol violation from the server side.
+  [[nodiscard]] bool recv(Frame& out);
+
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> buf_;  ///< bytes received but not yet decoded
+};
+
+}  // namespace satd

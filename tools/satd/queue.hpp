@@ -1,0 +1,89 @@
+// Bounded MPMC job queue for satd's admission control.
+//
+// Mutex + condvar only, deliberately: the queue sits in front of the
+// compute engines, where a request costs milliseconds — there is nothing
+// for lock-free cleverness to win, and the plain version is trivially
+// correct under satmc-style reasoning. try_push never blocks (full queue
+// ⇒ immediate false ⇒ the server replies kOverloaded instead of hanging
+// the client); pop blocks until an item, close(), or shutdown.
+//
+// pop_batch implements the server's shape coalescing: it removes the
+// oldest job plus every other queued job with the same (rows, cols, dtype),
+// up to `max_batch`, preserving arrival order within the batch. Jobs of
+// other shapes keep their queue positions.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace satd {
+
+template <class Job>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues unless full or closed. Never blocks. Returns false on
+  /// rejection — the caller owes the client a backpressure reply.
+  bool try_push(Job job) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the oldest job plus up to `max_batch - 1` later jobs that
+  /// `same_shape(oldest, other)` accepts. Returns an empty vector only
+  /// when the queue is closed and drained.
+  template <class SameShape>
+  std::vector<Job> pop_batch(std::size_t max_batch, SameShape&& same_shape) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    std::vector<Job> batch;
+    if (items_.empty()) return batch;  // closed and drained
+    batch.push_back(std::move(items_.front()));
+    items_.pop_front();
+    for (auto it = items_.begin();
+         it != items_.end() && batch.size() < max_batch;) {
+      if (same_shape(batch.front(), *it)) {
+        batch.push_back(std::move(*it));
+        it = items_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return batch;
+  }
+
+  /// Wakes every blocked pop_batch; queued jobs still drain first.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> items_;
+  bool closed_ = false;
+};
+
+}  // namespace satd
