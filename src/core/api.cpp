@@ -5,6 +5,7 @@
 
 #include "host/sat_cpu.hpp"
 #include "host/sat_parallel.hpp"
+#include "host/sat_residual.hpp"
 #include "host/sat_simd.hpp"
 #include "host/sat_skss_lb.hpp"
 #include "host/sat_wavefront.hpp"
@@ -106,10 +107,65 @@ class PoolRef {
   std::unique_ptr<sathost::ThreadPool> owned_;
 };
 
+/// Residual tile width for this call (Options::cpu_tile_w doubles as the
+/// residual W; 0 picks the documented default).
+inline std::size_t residual_tile_w(const Options& opts) {
+  return opts.cpu_tile_w != 0 ? opts.cpu_tile_w : kDefaultResidualTileW;
+}
+
 /// The engine dispatch shared by the Matrix and Span2d entry points.
 template <class T>
 std::string run_cpu_engine(satutil::Span2d<const T> src, satutil::Span2d<T> dst,
                            const Options& opts) {
+  if (opts.storage == Storage::kKahanF32) {
+    if constexpr (std::is_floating_point_v<T>) {
+      switch (opts.cpu_engine) {
+        case CpuEngine::kSequential:
+          sathost::sat_sequential_kahan<T>(src, dst);
+          return "cpu-sequential-kahan";
+        case CpuEngine::kSimd:
+          sathost::sat_kahan<T>(src, dst, /*tile=*/4096, opts.metrics);
+          return "cpu-simd-kahan";
+        case CpuEngine::kSkssLb: {
+          PoolRef pool(opts);
+          sathost::SkssLbOptions lb;
+          lb.tile_w = opts.cpu_tile_w;
+          lb.metrics = opts.metrics;
+          lb.trace = opts.trace;
+          lb.kahan = true;
+          sathost::sat_skss_lb<T>(pool.get(), src, dst, lb);
+          return "cpu-skss-lb-kahan";
+        }
+        default:
+          SAT_CHECK_MSG(false,
+                        "Storage::kKahanF32 supports the sequential, simd, "
+                        "and skss_lb engines");
+      }
+    } else {
+      SAT_CHECK_MSG(false,
+                    "Storage::kKahanF32 requires a floating-point element "
+                    "type");
+    }
+  }
+  if (opts.storage == Storage::kTiledResidual) {
+    // Compatibility path for the dense-result entry points: encode, then
+    // decode into the caller's buffer. Callers that want the compressed
+    // form (and its bandwidth win) use compute_sat_tiled instead.
+    TiledSat<T> tiled(src.rows(), src.cols(), residual_tile_w(opts));
+    if (opts.cpu_engine == CpuEngine::kSkssLb) {
+      PoolRef pool(opts);
+      sathost::SkssLbOptions lb;
+      lb.tile_w = tiled.tile_w();
+      lb.metrics = opts.metrics;
+      lb.trace = opts.trace;
+      sathost::sat_skss_lb_residual<T>(pool.get(), src, tiled, lb);
+      tiled.decode_into(dst);
+      return "cpu-skss-lb-resid";
+    }
+    sathost::sat_residual<T>(src, tiled, opts.metrics);
+    tiled.decode_into(dst);
+    return "cpu-resid";
+  }
   switch (opts.cpu_engine) {
     case CpuEngine::kSequential:
       sathost::sat_sequential<T>(src, dst);
@@ -193,7 +249,31 @@ Stats compute_sat_batch_into(
                   "output " << k << " shape mismatch");
   }
   Stats stats;
-  if (opts.cpu_engine == CpuEngine::kSkssLb) {
+  if (opts.cpu_engine == CpuEngine::kSkssLb &&
+      opts.storage == Storage::kTiledResidual) {
+    // One batched claim-range residual pass, decoded into the caller's
+    // dense buffers (the wire/result format stays dense; the engine's
+    // output traffic is the narrow residual planes).
+    const std::size_t w = residual_tile_w(opts);
+    std::vector<TiledSat<T>> tiled;
+    std::vector<TiledSat<T>*> ptrs;
+    tiled.reserve(inputs.size());
+    ptrs.reserve(inputs.size());
+    for (const auto& in : inputs) tiled.emplace_back(in.rows(), in.cols(), w);
+    for (auto& t : tiled) ptrs.push_back(&t);
+    PoolRef pool(opts);
+    sathost::SkssLbOptions lb;
+    lb.tile_w = w;
+    lb.metrics = opts.metrics;
+    lb.trace = opts.trace;
+    sathost::sat_skss_lb_residual_batch<T>(pool.get(), inputs, ptrs, lb);
+    for (std::size_t k = 0; k < tiled.size(); ++k)
+      tiled[k].decode_into(outputs[k]);
+    stats.algorithm = "cpu-skss-lb-batch-resid";
+    return stats;
+  }
+  if (opts.cpu_engine == CpuEngine::kSkssLb &&
+      opts.storage != Storage::kKahanF32) {
     PoolRef pool(opts);
     sathost::SkssLbOptions lb;
     lb.tile_w = opts.cpu_tile_w;
@@ -202,6 +282,24 @@ Stats compute_sat_batch_into(
     sathost::sat_skss_lb_batch<T>(pool.get(), inputs, outputs, lb);
     stats.algorithm = "cpu-skss-lb-batch";
     return stats;
+  }
+  if (opts.cpu_engine == CpuEngine::kSkssLb) {
+    // kKahanF32: one batched pass with the compensated tile sweep.
+    if constexpr (std::is_floating_point_v<T>) {
+      PoolRef pool(opts);
+      sathost::SkssLbOptions lb;
+      lb.tile_w = opts.cpu_tile_w;
+      lb.metrics = opts.metrics;
+      lb.trace = opts.trace;
+      lb.kahan = true;
+      sathost::sat_skss_lb_batch<T>(pool.get(), inputs, outputs, lb);
+      stats.algorithm = "cpu-skss-lb-batch-kahan";
+      return stats;
+    } else {
+      SAT_CHECK_MSG(false,
+                    "Storage::kKahanF32 requires a floating-point element "
+                    "type");
+    }
   }
   for (std::size_t k = 0; k < inputs.size(); ++k) {
     stats.algorithm = run_cpu_engine<T>(inputs[k], outputs[k], opts) + "-batch";
@@ -212,6 +310,9 @@ Stats compute_sat_batch_into(
 template <class T>
 Result<T> compute_sat(const Matrix<T>& input, const Options& opts) {
   SAT_CHECK_MSG(!input.empty(), "input matrix is empty");
+  SAT_CHECK_MSG(
+      opts.storage == Storage::kDense || opts.backend == Backend::kCpu,
+      "non-dense storage modes are CPU-backend only");
   switch (opts.backend) {
     case Backend::kSimulatedGpu:
       return compute_on_simulated_gpu(input, opts);
@@ -233,6 +334,8 @@ BatchResult<T> compute_sat_batch(const std::vector<Matrix<T>>& inputs,
                   "batched matrices must share one shape");
   }
   if (opts.backend == Backend::kCpu) return compute_batch_on_cpu(inputs, opts);
+  SAT_CHECK_MSG(opts.storage == Storage::kDense,
+                "non-dense storage modes are CPU-backend only");
   SAT_CHECK(opts.tile_w > 0 && opts.tile_w % 32 == 0);
   auto align = [&](std::size_t x) {
     return (x + opts.tile_w - 1) / opts.tile_w * opts.tile_w;
@@ -290,6 +393,29 @@ BatchResult<T> compute_sat_batch(const std::vector<Matrix<T>>& inputs,
   result.stats.flag_writes = totals.flag_writes;
   result.stats.max_lookback_depth = run.max_lookback_depth();
   result.stats.critical_path_us = run.sum_critical_path_us();
+  return result;
+}
+
+template <class T>
+TiledResult<T> compute_sat_tiled(const Matrix<T>& input, const Options& opts) {
+  SAT_CHECK_MSG(!input.empty(), "input matrix is empty");
+  SAT_CHECK_MSG(opts.backend == Backend::kCpu,
+                "compute_sat_tiled is CPU-backend only");
+  TiledResult<T> result{
+      TiledSat<T>(input.rows(), input.cols(), residual_tile_w(opts)), {}};
+  if (opts.cpu_engine == CpuEngine::kSkssLb) {
+    PoolRef pool(opts);
+    sathost::SkssLbOptions lb;
+    lb.tile_w = result.table.tile_w();
+    lb.metrics = opts.metrics;
+    lb.trace = opts.trace;
+    sathost::sat_skss_lb_residual<T>(pool.get(), input.view(), result.table,
+                                     lb);
+    result.stats.algorithm = "cpu-skss-lb-resid";
+  } else {
+    sathost::sat_residual<T>(input.view(), result.table, opts.metrics);
+    result.stats.algorithm = "cpu-resid";
+  }
   return result;
 }
 
@@ -409,6 +535,17 @@ template Stats compute_sat_batch_into<std::int32_t>(
 template Stats compute_sat_batch_into<std::int64_t>(
     const std::vector<satutil::Span2d<const std::int64_t>>&,
     const std::vector<satutil::Span2d<std::int64_t>>&, const Options&);
+
+template TiledResult<float> compute_sat_tiled<float>(const Matrix<float>&,
+                                                     const Options&);
+template TiledResult<double> compute_sat_tiled<double>(const Matrix<double>&,
+                                                       const Options&);
+template TiledResult<std::int32_t> compute_sat_tiled<std::int32_t>(
+    const Matrix<std::int32_t>&, const Options&);
+template TiledResult<std::uint32_t> compute_sat_tiled<std::uint32_t>(
+    const Matrix<std::uint32_t>&, const Options&);
+template TiledResult<std::int64_t> compute_sat_tiled<std::int64_t>(
+    const Matrix<std::int64_t>&, const Options&);
 
 template std::vector<float> inclusive_scan<float>(const std::vector<float>&,
                                                   const Options&);

@@ -19,6 +19,7 @@
 #include "gpusim/gpusim.hpp"
 #include "sat/params.hpp"
 #include "sat/registry.hpp"
+#include "sat/storage.hpp"
 
 namespace obs {
 class Registry;
@@ -91,6 +92,17 @@ struct Options {
   /// Fault injection for checker tests (forwarded to SatParams).
   satalgo::FaultInjection inject = satalgo::FaultInjection::kNone;
   std::size_t inject_serial = 0;
+
+  /// Output storage mode (docs/host_engine.md, "Storage modes"). The
+  /// non-dense modes are CPU-backend only. kTiledResidual computes the
+  /// table in per-tile base+residual form (bit-exact for integral T while
+  /// every tile-local SAT fits T — a range extension past dense T); through
+  /// the dense-result entry points it is decoded back into the caller's
+  /// buffer, so use compute_sat_tiled to keep the compressed form.
+  /// kKahanF32 requires a floating-point element type and is supported by
+  /// the kSequential/kSimd/kSkssLb engines. cpu_tile_w doubles as the
+  /// residual tile width (0 ⇒ kDefaultResidualTileW).
+  Storage storage = Storage::kDense;
 
   /// Optional observability (see docs/observability.md; neither owned).
   /// `metrics` receives the run's metric set — sim.* from the simulated-GPU
@@ -172,6 +184,32 @@ template <class T>
 Stats compute_sat_batch_into(
     const std::vector<satutil::Span2d<const T>>& inputs,
     const std::vector<satutil::Span2d<T>>& outputs, const Options& opts = {});
+
+/// Default tile width for Storage::kTiledResidual when Options::cpu_tile_w
+/// is 0. Wider residual tiles amortize the per-tile wide base vectors but
+/// widen each tile's value range (pushing more tiles from u16 to u32);
+/// 256 balances the two for byte-valued inputs while keeping the encoder's
+/// staging buffer cache-resident.
+inline constexpr std::size_t kDefaultResidualTileW = 256;
+
+/// Result of a tiled-residual computation: the compressed table itself (use
+/// sat::region_sum / TiledSat::value for decompress-on-the-fly queries, or
+/// TiledSat::decode_into for a dense copy) plus the run's statistics.
+template <class T>
+struct TiledResult {
+  TiledSat<T> table;
+  Stats stats;
+};
+
+/// Computes the SAT of `input` in tiled base+residual form without ever
+/// materializing the dense table (Storage::kTiledResidual kept compressed).
+/// CPU backend only. cpu_engine == kSkssLb runs the multithreaded claim-
+/// range encoder; every other engine value runs the single-threaded fused
+/// encoder. Options::storage is ignored (this entry point IS the residual
+/// mode).
+template <class T>
+TiledResult<T> compute_sat_tiled(const Matrix<T>& input,
+                                 const Options& opts = {});
 
 /// Device-wide inclusive prefix sum of a 1-D array using the
 /// Merrill–Garland single-pass look-back scan [10,11] on the simulated GPU.

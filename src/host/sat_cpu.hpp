@@ -49,6 +49,36 @@ void sat_two_pass(satutil::Span2d<const T> src, satutil::Span2d<T> dst) {
   }
 }
 
+/// Sequential SAT with a Kahan-compensated column accumulator — the scalar
+/// reference for Storage::kKahanF32 (the vectorized engine is sat_kahan in
+/// sat_simd.hpp). The row prefix is a plain running sum; each fold of a
+/// row-prefix value into the per-column running total carries the rounding
+/// residue forward in `comp` instead of discarding it, which keeps the
+/// column error O(1) ulp instead of O(rows) ulp past the f32 ~2^24
+/// integer-exactness boundary. Floating T only.
+template <class T>
+void sat_sequential_kahan(satutil::Span2d<const T> src,
+                          satutil::Span2d<T> dst) {
+  static_assert(std::is_floating_point_v<T>,
+                "Storage::kKahanF32 requires a floating-point table");
+  SAT_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  const std::size_t rows = src.rows();
+  const std::size_t cols = src.cols();
+  std::vector<T> acc(cols, T{});
+  std::vector<T> comp(cols, T{});
+  for (std::size_t i = 0; i < rows; ++i) {
+    T row_run{};
+    for (std::size_t j = 0; j < cols; ++j) {
+      row_run += src(i, j);
+      const T y = row_run - comp[j];
+      const T t = acc[j] + y;
+      comp[j] = (t - acc[j]) - y;
+      acc[j] = t;
+      dst(i, j) = t;
+    }
+  }
+}
+
 /// Tiled SAT with width-`tile` column chunks. Historically this walked
 /// tile×tile blocks and recovered each block's row carry by re-reading (and
 /// subtracting) finished dst cells — a pass coupling that made it *slower*

@@ -159,6 +159,60 @@ T simd_row_scan_acc(const T* src, T* acc, T* dst, std::size_t n,
   return carry;
 }
 
+/// Kahan-compensated variant of simd_row_scan_acc for floating-point
+/// tables (Storage::kKahanF32). The horizontal prefix within the row is a
+/// plain carry-seeded scan (its chains are short and restart every row);
+/// what Kahan protects is the COLUMN accumulation — the n-long running sum
+/// in `acc` that destroys f32 exactness past ~2^24 (see docs/host_engine.md,
+/// "Storage modes"). Per column j the row's prefix value v is folded in as
+///   y = v − comp[j]; t = acc[j] + y; comp[j] = (t − acc[j]) − y; acc[j] = t
+/// so the low-order bits lost by each add are carried forward in `comp`
+/// instead of discarded. dst[j] receives t. Returns the row carry-out.
+/// Same streaming/WC-line rule as simd_row_scan_acc. Requires a build
+/// without value-unsafe FP optimizations (-ffast-math would erase comp).
+template <class T>
+T kahan_row_scan_acc(const T* src, T* acc, T* comp, T* dst, std::size_t n,
+                     T carry = T{}, bool allow_stream = true) {
+  static_assert(std::is_floating_point_v<T>,
+                "Kahan compensation only applies to floating-point tables");
+  using V = satsimd::Vec<T>;
+  std::size_t j = 0;
+  if (n >= V::width) {
+    V vcarry = V::broadcast(carry);
+    const bool stream =
+        allow_stream &&
+        reinterpret_cast<std::uintptr_t>(dst) % (V::width * sizeof(T)) == 0;
+    auto loop = [&](auto streamed) {
+      for (; j + V::width <= n; j += V::width) {
+        satsimd::prefetch(reinterpret_cast<const char*>(src + j) +
+                          kPrefetchAheadBytes);
+        const V x = V::load(src + j);
+        const V row = x.inclusive_scan() + vcarry;
+        const V s = V::load(acc + j);
+        const V y = row - V::load(comp + j);
+        const V t = s + y;
+        ((t - s) - y).store(comp + j);
+        t.store(acc + j);
+        if constexpr (decltype(streamed)::value) t.store_stream(dst + j);
+        else t.store(dst + j);
+        vcarry += x.sum_broadcast();
+      }
+    };
+    if (stream) loop(std::true_type{});
+    else loop(std::false_type{});
+    carry = vcarry.last();
+  }
+  for (; j < n; ++j) {
+    carry += src[j];
+    const T y = carry - comp[j];
+    const T t = acc[j] + y;
+    comp[j] = (t - acc[j]) - y;
+    acc[j] = t;
+    dst[j] = t;
+  }
+  return carry;
+}
+
 /// Register-blocked 4-row variant of simd_row_scan_acc: four source rows
 /// advance through one accumulator row in a single sweep, so the column
 /// carry flows r0 → r1 → r2 → r3 through registers and `acc` is loaded and
@@ -408,6 +462,61 @@ void sat_simd(satutil::Span2d<const T> src, satutil::Span2d<T> dst,
       vec_elems += nc - nc % satsimd::Vec<T>::width;
       carry = simd_row_scan_acc(&src(i, bj), acc.data() + bj, &dst(i, bj), nc,
                                 carry, allow_stream);
+    }
+  }
+  satsimd::store_fence();
+#if SATLIB_OBS_ENABLED
+  if (reg != nullptr) {
+    const std::size_t total = rows * cols;
+    reg->counter("host.simd.elements").add(total);
+    reg->gauge("host.simd.lane_utilization_pct")
+        .set(100.0 * static_cast<double>(vec_elems) /
+             static_cast<double>(total));
+  }
+#endif
+}
+
+/// sat_simd with a Kahan-compensated column accumulator (Storage::kKahanF32):
+/// identical streaming structure, but the L1-resident state is two rows —
+/// the running column sums and their compensation terms — and every fold
+/// into the accumulator goes through kahan_row_scan_acc. Floating T only.
+template <class T>
+void sat_kahan(satutil::Span2d<const T> src, satutil::Span2d<T> dst,
+               std::size_t tile = 4096, obs::Registry* reg = nullptr) {
+  static_assert(std::is_floating_point_v<T>,
+                "Storage::kKahanF32 requires a floating-point table");
+  SAT_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  SAT_CHECK(tile > 0);
+  const std::size_t rows = src.rows();
+  const std::size_t cols = src.cols();
+  if (rows == 0 || cols == 0) return;
+
+  constexpr std::size_t vec_bytes = satsimd::Vec<T>::width * sizeof(T);
+  const bool allow_stream = rows * cols * sizeof(T) >= kStreamMinBytes;
+  std::vector<T> acc(cols, T{});
+  std::vector<T> comp(cols, T{});
+  std::size_t vec_elems = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    T carry{};
+    std::size_t j0 = 0;
+    const std::size_t mis =
+        reinterpret_cast<std::uintptr_t>(&dst(i, 0)) % vec_bytes;
+    if (mis != 0 && mis % sizeof(T) == 0)
+      j0 = std::min((vec_bytes - mis) / sizeof(T), cols);
+    for (std::size_t j = 0; j < j0; ++j) {
+      carry += src(i, j);
+      const T y = carry - comp[j];
+      const T t = acc[j] + y;
+      comp[j] = (t - acc[j]) - y;
+      acc[j] = t;
+      dst(i, j) = t;
+    }
+    for (std::size_t bj = j0; bj < cols; bj += tile) {
+      const std::size_t nc = std::min(tile, cols - bj);
+      vec_elems += nc - nc % satsimd::Vec<T>::width;
+      carry = kahan_row_scan_acc(&src(i, bj), acc.data() + bj,
+                                 comp.data() + bj, &dst(i, bj), nc, carry,
+                                 allow_stream);
     }
   }
   satsimd::store_fence();

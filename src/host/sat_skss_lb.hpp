@@ -99,6 +99,14 @@ struct SkssLbOptions {
   /// batch run the serial is global: image = serial / tiles_per_image.
   /// Leave empty in production.
   std::function<void(std::size_t serial)> tile_hook;
+  /// Kahan-compensate the column accumulation inside each tile sweep
+  /// (Storage::kKahanF32). Floating-point T only. The compensation row
+  /// resets at tile boundaries — the residue a tile hands to the one below
+  /// travels through the GCS flags uncompensated — so the error bound is
+  /// O(tiles per column) ulp instead of kahan's O(1), still far below the
+  /// O(rows) ulp of plain f32 accumulation. Uses the 1-deep row kernel
+  /// (the register-blocked variants have no compensated form).
+  bool kahan = false;
 };
 
 namespace detail {
@@ -149,12 +157,14 @@ class TileArena {
                 "arena scratch is zero-filled bytewise");
 
  public:
-  explicit TileArena(std::size_t w) : w_(w), rows_(alloc_touched(4 * w)) {}
+  explicit TileArena(std::size_t w) : w_(w), rows_(alloc_touched(5 * w)) {}
 
   T* acc() noexcept { return rows_.get(); }
   T* grs_left() noexcept { return rows_.get() + w_; }
   T* gcs_up() noexcept { return rows_.get() + 2 * w_; }
   T* offrow() noexcept { return rows_.get() + 3 * w_; }
+  /// Kahan compensation row (SkssLbOptions::kahan); zeroed per tile.
+  T* comp() noexcept { return rows_.get() + 4 * w_; }
 
   /// The W² tile buffer, faulted on first slow-path use.
   T* tile() {
@@ -211,6 +221,9 @@ void sat_skss_lb_batch(ThreadPool& pool,
     SAT_CHECK(dsts[b].rows() == rows && dsts[b].cols() == cols);
   }
   if (rows == 0 || cols == 0) return;
+  if constexpr (!std::is_floating_point_v<T>)
+    SAT_CHECK_MSG(!opt.kahan,
+                  "SkssLbOptions::kahan requires a floating-point table");
 
   const std::size_t nworkers =
       opt.workers != 0 ? opt.workers : pool.size();
@@ -300,6 +313,23 @@ void sat_skss_lb_batch(ThreadPool& pool,
         }
       }
       std::size_t p = 0;
+      if constexpr (std::is_floating_point_v<T>) {
+        if (opt.kahan) {
+          // Compensated sweep: 1-deep rows only; comp resets per tile (the
+          // residue crossing to the tile below is dropped, see the option's
+          // comment). Leaves p == P, so the blocked loops below no-op.
+          T* comp = arena.comp();
+          std::fill(comp, comp + Q, T{});
+          for (; p < P; ++p) {
+            const T carry_in = grs_in != nullptr ? grs_in[p] : T{};
+            band_left += carry_in;
+            grs_self[p] =
+                kahan_row_scan_acc(&src(r0 + p, c0), acc, comp,
+                                   &dst(r0 + p, c0), Q, carry_in,
+                                   allow_stream);
+          }
+        }
+      }
       if (deep) {
         for (; p + 8 <= P; p += 8) {
           const T* srows[8];
@@ -364,6 +394,16 @@ void sat_skss_lb_batch(ThreadPool& pool,
       std::fill(acc, acc + Q, T{});
       {
         std::size_t p = 0;
+        if constexpr (std::is_floating_point_v<T>) {
+          if (opt.kahan) {
+            T* comp = arena.comp();
+            std::fill(comp, comp + Q, T{});
+            for (; p < P; ++p)
+              lrs_self[p] = kahan_row_scan_acc(&src(r0 + p, c0), acc, comp,
+                                               tilebuf + p * w, Q, T{},
+                                               /*allow_stream=*/false);
+          }
+        }
         if (deep) {
           for (; p + 8 <= P; p += 8) {
             const T* srows[8];

@@ -1,0 +1,509 @@
+// SAT storage modes (ROADMAP item 3, after Ehsan et al.'s compact integral
+// image representations).
+//
+// Every host engine in the ledger is bound by DRAM traffic, and the SAT
+// *output* write is the dominant term — so a representation that halves the
+// output bytes is a throughput lever, not just a footprint one. The SKSS-LB
+// tile structure makes a base+residual encoding nearly free: the engine
+// already computes, per tile, the global prefix sums entering from the left
+// and from above (its GRS/GCS look-back values). Splitting the table as
+//
+//     SAT(r0+p, c0+q) = RowBand(p) + ColBand(q) + L(p, q)
+//
+//       RowBand(p) = Σ_{p'≤p} (sum of row r0+p' left of the tile)
+//       ColBand(q) = SAT(r0−1, c0+q)            (0 above the top band)
+//       L(p, q)    = tile-local SAT of the W×W tile
+//
+// stores two W-entry *wide* base vectors per tile plus a dense plane of
+// *narrow* local residuals. Only L varies per cell; its per-tile range is
+// bounded by the tile's own content, so for most inputs it fits u16 or u32
+// even when the global SAT needs 64 bits. Per tile we store the minimum of
+// L as a bias (folded into RowBand, so readers never see it) and pick the
+// narrowest width that holds max−min, falling back to the wide type when the
+// tile's dynamic range overflows u32 (counted, never wrong).
+//
+// Exactness contract (integral T): reconstruction is bit-exact versus the
+// dense i64 oracle whenever every *tile-local* SAT fits T. That is strictly
+// weaker than the dense-mode requirement that the FULL table fits T — tiled
+// residual storage is a range extension as well as a compression: an i32
+// input whose total exceeds INT32_MAX still reconstructs exactly, because
+// the base vectors are 64-bit. For floating T the residual plane is f32 and
+// the bases are f64; error is bounded by the f32 representation of the
+// tile-local values (see docs/host_engine.md, "Storage modes").
+//
+// Layout: residual planes are indexed tile-contiguously,
+// `tile*W² + p*W + q`, so every tile slot and every row inside it is
+// 64-byte aligned whenever W is a multiple of 32 — the non-temporal store
+// path in the encoders requires never mixing streamed and regular stores in
+// one cache line. Planes are allocated default-initialized and oversized
+// (one slot per tile for each width); untouched pages are never faulted in,
+// so the three widths coexist at the cost of address space, not RSS.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "core/region.hpp"
+#include "util/check.hpp"
+#include "util/simd.hpp"
+#include "util/span2d.hpp"
+
+namespace sat {
+
+/// Output representation of a computed SAT (Options::storage).
+enum class Storage : std::uint8_t {
+  kDense = 0,          ///< one full-width table entry per cell (default)
+  kTiledResidual = 1,  ///< per-tile wide bases + narrow local residuals
+  kKahanF32 = 2,       ///< f32 table, Kahan-compensated column accumulation
+};
+
+[[nodiscard]] constexpr const char* storage_name(Storage s) {
+  switch (s) {
+    case Storage::kDense: return "dense";
+    case Storage::kTiledResidual: return "residual";
+    case Storage::kKahanF32: return "kahan";
+  }
+  return "?";
+}
+
+namespace detail {
+
+template <class U>
+struct AlignedFree {
+  void operator()(U* p) const noexcept {
+    ::operator delete[](static_cast<void*>(p), std::align_val_t{64});
+  }
+};
+
+template <class U>
+using AlignedArray = std::unique_ptr<U[], AlignedFree<U>>;
+
+/// 64-byte-aligned, default-initialized (pages stay virtual until touched).
+template <class U>
+[[nodiscard]] AlignedArray<U> aligned_array(std::size_t n) {
+  if (n == 0) return {};
+  return AlignedArray<U>(new (std::align_val_t{64}) U[n]);
+}
+
+/// Folds `row[0..n)` into the running [mn, mx] range. 8-lane AVX2 sweep for
+/// the 4-byte types (the range scan otherwise costs more than the narrow
+/// conversion it feeds); engines call this on each tile row right after the
+/// scan kernel produces it, while the row is still cache-hot.
+template <class U>
+inline void update_range(const U* row, std::size_t n, U& mn, U& mx) {
+  std::size_t q = 0;
+#if defined(SATSIMD_BACKEND_AVX2)
+  if constexpr (sizeof(U) == 4) {
+    if (n >= 8) {
+      if constexpr (std::is_same_v<U, float>) {
+        __m256 vmn = _mm256_set1_ps(mn), vmx = _mm256_set1_ps(mx);
+        for (; q + 8 <= n; q += 8) {
+          const __m256 v = _mm256_loadu_ps(row + q);
+          vmn = _mm256_min_ps(vmn, v);
+          vmx = _mm256_max_ps(vmx, v);
+        }
+        alignas(32) float lanes[8];
+        _mm256_store_ps(lanes, vmn);
+        for (float v : lanes) mn = v < mn ? v : mn;
+        _mm256_store_ps(lanes, vmx);
+        for (float v : lanes) mx = v > mx ? v : mx;
+      } else {
+        __m256i vmn = _mm256_set1_epi32(static_cast<int>(mn));
+        __m256i vmx = _mm256_set1_epi32(static_cast<int>(mx));
+        for (; q + 8 <= n; q += 8) {
+          const __m256i v =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + q));
+          if constexpr (std::is_signed_v<U>) {
+            vmn = _mm256_min_epi32(vmn, v);
+            vmx = _mm256_max_epi32(vmx, v);
+          } else {
+            vmn = _mm256_min_epu32(vmn, v);
+            vmx = _mm256_max_epu32(vmx, v);
+          }
+        }
+        alignas(32) U lanes[8];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vmn);
+        for (U v : lanes) mn = v < mn ? v : mn;
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vmx);
+        for (U v : lanes) mx = v > mx ? v : mx;
+      }
+    }
+  }
+#endif
+  for (; q < n; ++q) {
+    mn = row[q] < mn ? row[q] : mn;
+    mx = row[q] > mx ? row[q] : mx;
+  }
+}
+
+}  // namespace detail
+
+/// A SAT in tiled base+residual form. Readers use value()/region_sum()
+/// (O(1), two base loads + one narrow load per corner) or decode_into()
+/// to materialize a dense table.
+template <class T>
+class TiledSat {
+  static_assert(std::is_arithmetic_v<T>);
+
+ public:
+  /// Accumulator type of the base vectors: f64 for floating tables,
+  /// i64 for integral ones.
+  using Wide =
+      std::conditional_t<std::is_floating_point_v<T>, double, std::int64_t>;
+
+  /// Per-tile residual encoding, chosen from the tile's value range.
+  enum class TileEnc : std::uint8_t {
+    kU16 = 0,   ///< bias-relative residual in 2 bytes (integral T)
+    kU32 = 1,   ///< bias-relative residual in 4 bytes (integral T)
+    kF32 = 2,   ///< bias-relative residual in 4 bytes (floating T)
+    kWide = 3,  ///< overflow fallback: raw tile-local SAT value in Wide
+  };
+
+  TiledSat() = default;
+
+  TiledSat(std::size_t rows, std::size_t cols, std::size_t tile_w)
+      : rows_(rows), cols_(cols), w_(tile_w) {
+    SAT_CHECK_MSG(rows > 0 && cols > 0 && tile_w > 0,
+                  "TiledSat needs a non-empty shape and tile width");
+    tr_ = (rows + w_ - 1) / w_;
+    tc_ = (cols + w_ - 1) / w_;
+    const std::size_t tiles = tr_ * tc_;
+    const std::size_t slot = w_ * w_;
+    row_base_ = detail::aligned_array<Wide>(tiles * w_);
+    col_base_ = detail::aligned_array<Wide>(tiles * w_);
+    enc_.assign(tiles, static_cast<std::uint8_t>(TileEnc::kWide));
+    if constexpr (std::is_floating_point_v<T>) {
+      f32_ = detail::aligned_array<float>(tiles * slot);
+    } else {
+      u16_ = detail::aligned_array<std::uint16_t>(tiles * slot);
+      u32_ = detail::aligned_array<std::uint32_t>(tiles * slot);
+    }
+    wide_ = detail::aligned_array<Wide>(tiles * slot);
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t tile_w() const { return w_; }
+  [[nodiscard]] std::size_t tile_rows() const { return tr_; }
+  [[nodiscard]] std::size_t tile_cols() const { return tc_; }
+  [[nodiscard]] std::size_t tile_count() const { return tr_ * tc_; }
+  [[nodiscard]] std::size_t tile_index(std::size_t ti, std::size_t tj) const {
+    return ti * tc_ + tj;
+  }
+
+  [[nodiscard]] TileEnc enc(std::size_t tile) const {
+    return static_cast<TileEnc>(enc_[tile]);
+  }
+
+  // ---- encoder side ------------------------------------------------------
+  // Each tile's slots are disjoint; distinct tiles may be encoded from
+  // distinct threads without synchronization (the SKSS-LB batch encoder
+  // does exactly that).
+
+  [[nodiscard]] Wide* row_base(std::size_t tile) {
+    return row_base_.get() + tile * w_;
+  }
+  [[nodiscard]] Wide* col_base(std::size_t tile) {
+    return col_base_.get() + tile * w_;
+  }
+  [[nodiscard]] const Wide* row_base(std::size_t tile) const {
+    return row_base_.get() + tile * w_;
+  }
+  [[nodiscard]] const Wide* col_base(std::size_t tile) const {
+    return col_base_.get() + tile * w_;
+  }
+
+  /// Encode one tile from its local SAT `tilebuf` (tp×tq values, leading
+  /// dimension `ld`) and its two wide base vectors:
+  ///   row_band[p] = RowBand(p), col_band[q] = ColBand(q)  (see file header).
+  /// Chooses the narrowest residual width that holds the tile's value range,
+  /// folds the bias into the stored row base, and — when `allow_stream` and
+  /// the geometry permits — writes u16 residuals with non-temporal stores
+  /// (a store fence is issued before returning, so cross-thread readers only
+  /// need the usual release/acquire handoff).
+  void encode_tile(std::size_t tile, const T* tilebuf, std::size_t ld,
+                   std::size_t tp, std::size_t tq, const Wide* row_band,
+                   const Wide* col_band, bool allow_stream = false) {
+    T mn = tilebuf[0];
+    T mx = tilebuf[0];
+    for (std::size_t p = 0; p < tp; ++p)
+      detail::update_range(tilebuf + p * ld, tq, mn, mx);
+    encode_tile(tile, tilebuf, ld, tp, tq, row_band, col_band, mn, mx,
+                allow_stream);
+  }
+
+  /// encode_tile with the tile's value range already known. The fused
+  /// engines track [mn, mx] during staging (detail::update_range on each
+  /// row while it is L1-hot), turning the encoder's own sweep — a second
+  /// full pass over a by-then cold tile — into a no-op. The range must
+  /// cover every tilebuf value; a too-narrow range corrupts the residuals.
+  void encode_tile(std::size_t tile, const T* tilebuf, std::size_t ld,
+                   std::size_t tp, std::size_t tq, const Wide* row_band,
+                   const Wide* col_band, T mn, T mx,
+                   bool allow_stream = false) {
+    Wide* rb = row_base_.get() + tile * w_;
+    Wide* cb = col_base_.get() + tile * w_;
+    for (std::size_t q = 0; q < tq; ++q) cb[q] = col_band[q];
+
+    TileEnc e;
+    if constexpr (std::is_floating_point_v<T>) {
+      e = TileEnc::kF32;
+    } else {
+      // Two's-complement subtraction in u64 yields the exact range even
+      // when max−min overflows the signed type.
+      const std::uint64_t range =
+          static_cast<std::uint64_t>(mx) - static_cast<std::uint64_t>(mn);
+      e = range <= 0xFFFFu  ? TileEnc::kU16
+          : range <= 0xFFFFFFFFu ? TileEnc::kU32
+                                 : TileEnc::kWide;
+    }
+    enc_[tile] = static_cast<std::uint8_t>(e);
+
+    const std::size_t slot = tile * w_ * w_;
+    if (e == TileEnc::kWide) {
+      // Overflow fallback: raw values, no bias (avoids i64 range games).
+      for (std::size_t p = 0; p < tp; ++p) rb[p] = row_band[p];
+      Wide* dst = wide_.get() + slot;
+      for (std::size_t p = 0; p < tp; ++p) {
+        const T* src = tilebuf + p * ld;
+        Wide* out = dst + p * w_;
+        for (std::size_t q = 0; q < tq; ++q)
+          out[q] = static_cast<Wide>(src[q]);
+      }
+      return;
+    }
+
+    const Wide bias = static_cast<Wide>(mn);
+    for (std::size_t p = 0; p < tp; ++p) rb[p] = row_band[p] + bias;
+
+    if (e == TileEnc::kF32) {
+      if constexpr (std::is_floating_point_v<T>) {
+        float* dst = f32_.get() + slot;
+        for (std::size_t p = 0; p < tp; ++p) {
+          const T* src = tilebuf + p * ld;
+          float* out = dst + p * w_;
+          for (std::size_t q = 0; q < tq; ++q)
+            out[q] = static_cast<float>(src[q] - mn);
+        }
+      }
+      return;
+    }
+
+    if (e == TileEnc::kU16) {
+      std::uint16_t* dst = u16_.get() + slot;
+      bool streamed = false;
+#if defined(SATSIMD_BACKEND_AVX2)
+      // Pack 16 bias-relative i32 residuals to u16 and stream them. Gated
+      // on W and tq being multiples of 32 so every streamed row covers
+      // whole 64-byte lines and no scalar tail shares a line with them.
+      if constexpr (sizeof(T) == 4 && std::is_integral_v<T>) {
+        if (allow_stream && w_ % 32 == 0 && tq % 32 == 0) {
+          const __m256i vbias = _mm256_set1_epi32(static_cast<int>(
+              static_cast<std::uint32_t>(static_cast<std::int64_t>(mn))));
+          for (std::size_t p = 0; p < tp; ++p) {
+            const T* src = tilebuf + p * ld;
+            std::uint16_t* out = dst + p * w_;
+            for (std::size_t q = 0; q < tq; q += 16) {
+              __m256i lo = _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(src + q));
+              __m256i hi = _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(src + q + 8));
+              lo = _mm256_sub_epi32(lo, vbias);
+              hi = _mm256_sub_epi32(hi, vbias);
+              __m256i packed = _mm256_packus_epi32(lo, hi);
+              packed = _mm256_permute4x64_epi64(packed, _MM_SHUFFLE(3, 1, 2, 0));
+              _mm256_stream_si256(reinterpret_cast<__m256i*>(out + q), packed);
+            }
+          }
+          satsimd::store_fence();
+          streamed = true;
+        }
+      }
+#else
+      (void)allow_stream;
+#endif
+      if (!streamed) {
+        for (std::size_t p = 0; p < tp; ++p) {
+          const T* src = tilebuf + p * ld;
+          std::uint16_t* out = dst + p * w_;
+          for (std::size_t q = 0; q < tq; ++q)
+            out[q] = static_cast<std::uint16_t>(
+                static_cast<std::uint64_t>(src[q]) -
+                static_cast<std::uint64_t>(mn));
+        }
+      }
+      return;
+    }
+
+    std::uint32_t* dst = u32_.get() + slot;
+    for (std::size_t p = 0; p < tp; ++p) {
+      const T* src = tilebuf + p * ld;
+      std::uint32_t* out = dst + p * w_;
+      for (std::size_t q = 0; q < tq; ++q)
+        out[q] = static_cast<std::uint32_t>(static_cast<std::uint64_t>(src[q]) -
+                                            static_cast<std::uint64_t>(mn));
+    }
+  }
+
+  // ---- reader side -------------------------------------------------------
+
+  /// SAT value at (r, c), reconstructed as base + residual.
+  [[nodiscard]] Wide value(std::size_t r, std::size_t c) const {
+    SAT_DCHECK(r < rows_ && c < cols_);
+    const std::size_t ti = r / w_, tj = c / w_;
+    const std::size_t p = r % w_, q = c % w_;
+    const std::size_t t = ti * tc_ + tj;
+    const Wide base = row_base_[t * w_ + p] + col_base_[t * w_ + q];
+    const std::size_t off = t * w_ * w_ + p * w_ + q;
+    switch (static_cast<TileEnc>(enc_[t])) {
+      case TileEnc::kU16: return base + static_cast<Wide>(u16_[off]);
+      case TileEnc::kU32: return base + static_cast<Wide>(u32_[off]);
+      case TileEnc::kF32: return base + static_cast<Wide>(f32_[off]);
+      case TileEnc::kWide: return base + wide_[off];
+    }
+    return base;
+  }
+
+  /// Materialize the dense table. For integral T the cast back to T is
+  /// exact only when the dense SAT itself fits T (the dense-mode contract);
+  /// residual storage can represent tables that dense T storage cannot.
+  void decode_into(satutil::Span2d<T> out) const {
+    SAT_CHECK_MSG(out.rows() == rows_ && out.cols() == cols_,
+                  "decode_into shape mismatch: " << out.rows() << "x"
+                                                 << out.cols() << " vs "
+                                                 << rows_ << "x" << cols_);
+    for (std::size_t ti = 0; ti < tr_; ++ti) {
+      const std::size_t r0 = ti * w_;
+      const std::size_t tp = rows_ - r0 < w_ ? rows_ - r0 : w_;
+      for (std::size_t tj = 0; tj < tc_; ++tj) {
+        const std::size_t c0 = tj * w_;
+        const std::size_t tq = cols_ - c0 < w_ ? cols_ - c0 : w_;
+        const std::size_t t = ti * tc_ + tj;
+        const Wide* rb = row_base_.get() + t * w_;
+        const Wide* cb = col_base_.get() + t * w_;
+        const std::size_t slot = t * w_ * w_;
+        const TileEnc e = static_cast<TileEnc>(enc_[t]);
+        for (std::size_t p = 0; p < tp; ++p) {
+          T* dst = &out(r0 + p, c0);
+          const Wide base_r = rb[p];
+          switch (e) {
+            case TileEnc::kU16: {
+              const std::uint16_t* res = u16_.get() + slot + p * w_;
+              for (std::size_t q = 0; q < tq; ++q)
+                dst[q] = static_cast<T>(base_r + cb[q] +
+                                        static_cast<Wide>(res[q]));
+              break;
+            }
+            case TileEnc::kU32: {
+              const std::uint32_t* res = u32_.get() + slot + p * w_;
+              for (std::size_t q = 0; q < tq; ++q)
+                dst[q] = static_cast<T>(base_r + cb[q] +
+                                        static_cast<Wide>(res[q]));
+              break;
+            }
+            case TileEnc::kF32: {
+              const float* res = f32_.get() + slot + p * w_;
+              for (std::size_t q = 0; q < tq; ++q)
+                dst[q] = static_cast<T>(base_r + cb[q] +
+                                        static_cast<Wide>(res[q]));
+              break;
+            }
+            case TileEnc::kWide: {
+              const Wide* res = wide_.get() + slot + p * w_;
+              for (std::size_t q = 0; q < tq; ++q)
+                dst[q] = static_cast<T>(base_r + cb[q] + res[q]);
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // ---- accounting --------------------------------------------------------
+
+  /// Bytes this representation actually stores (residual planes at their
+  /// chosen widths + base vectors + tags), counting only the live tp×tq
+  /// region of clipped edge tiles.
+  [[nodiscard]] std::size_t residual_bytes() const {
+    std::size_t bytes = 0;
+    for (std::size_t ti = 0; ti < tr_; ++ti) {
+      const std::size_t tp = rows_ - ti * w_ < w_ ? rows_ - ti * w_ : w_;
+      for (std::size_t tj = 0; tj < tc_; ++tj) {
+        const std::size_t tq = cols_ - tj * w_ < w_ ? cols_ - tj * w_ : w_;
+        std::size_t esz = 0;
+        switch (enc(ti * tc_ + tj)) {
+          case TileEnc::kU16: esz = 2; break;
+          case TileEnc::kU32: esz = 4; break;
+          case TileEnc::kF32: esz = 4; break;
+          case TileEnc::kWide: esz = sizeof(Wide); break;
+        }
+        bytes += tp * tq * esz + (tp + tq) * sizeof(Wide) + 1;
+      }
+    }
+    return bytes;
+  }
+
+  /// Bytes the dense table of the same shape occupies.
+  [[nodiscard]] std::size_t dense_bytes() const {
+    return rows_ * cols_ * sizeof(T);
+  }
+
+  /// Tiles whose value range overflowed u32 and fell back to wide storage.
+  [[nodiscard]] std::size_t overflow_tiles() const {
+    std::size_t n = 0;
+    for (std::uint8_t e : enc_)
+      n += e == static_cast<std::uint8_t>(TileEnc::kWide) ? 1u : 0u;
+    return n;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t w_ = 0;
+  std::size_t tr_ = 0;
+  std::size_t tc_ = 0;
+  detail::AlignedArray<Wide> row_base_;
+  detail::AlignedArray<Wide> col_base_;
+  std::vector<std::uint8_t> enc_;
+  detail::AlignedArray<std::uint16_t> u16_;
+  detail::AlignedArray<std::uint32_t> u32_;
+  detail::AlignedArray<float> f32_;
+  detail::AlignedArray<Wide> wide_;
+};
+
+/// region_sum on a tiled table — the same four-corner identity and guard
+/// semantics as the dense overload in core/region.hpp, but each corner is a
+/// decompress-on-the-fly base+residual lookup and the sum is returned in
+/// the wide accumulator type (bit-exact for integral T under the tile-local
+/// exactness contract).
+template <class T>
+[[nodiscard]] typename TiledSat<T>::Wide region_sum(const TiledSat<T>& table,
+                                                    const Rect& rect) {
+  using Wide = typename TiledSat<T>::Wide;
+  SAT_CHECK_MSG(rect.r0 <= rect.r1 && rect.c0 <= rect.c1 &&
+                    rect.r1 <= table.rows() && rect.c1 <= table.cols(),
+                "rectangle [" << rect.r0 << "," << rect.r1 << ")x[" << rect.c0
+                              << "," << rect.c1 << ") out of bounds for "
+                              << table.rows() << "x" << table.cols());
+  if (rect.r0 == rect.r1 || rect.c0 == rect.c1) return Wide{};
+  Wide sum = table.value(rect.r1 - 1, rect.c1 - 1);
+  if (rect.r0 > 0) sum -= table.value(rect.r0 - 1, rect.c1 - 1);
+  if (rect.c0 > 0) sum -= table.value(rect.r1 - 1, rect.c0 - 1);
+  if (rect.r0 > 0 && rect.c0 > 0) sum += table.value(rect.r0 - 1, rect.c0 - 1);
+  return sum;
+}
+
+/// Mean of `rect` on a tiled table; requires a non-empty rect.
+template <class T>
+[[nodiscard]] double region_mean(const TiledSat<T>& table, const Rect& rect) {
+  SAT_CHECK(rect.area() > 0);
+  return static_cast<double>(region_sum(table, rect)) /
+         static_cast<double>(rect.area());
+}
+
+}  // namespace sat

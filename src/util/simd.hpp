@@ -1,9 +1,10 @@
 // satsimd — a portable fixed-width SIMD layer for the host SAT engine.
 //
 // One vector type, `satsimd::Vec<T>`, with exactly the operations a summed
-// area table needs: load/store (aligned and unaligned), lane-wise add,
-// broadcast, an in-register inclusive scan (log-step shift-add), and
-// extraction of the last lane (the scan's carry-out).
+// area table needs: load/store (aligned and unaligned), lane-wise add and
+// subtract (the Kahan-compensated kernels need `(t − s) − y`), broadcast,
+// an in-register inclusive scan (log-step shift-add), and extraction of the
+// last lane (the scan's carry-out).
 //
 // Dispatch is at compile time, selected by the SATLIB_SIMD build option and
 // the target ISA:
@@ -99,6 +100,11 @@ struct Vec {
     return v;
   }
   Vec& operator+=(Vec b) { return *this = *this + b; }
+  [[nodiscard]] friend Vec operator-(Vec a, Vec b) {
+    Vec v;
+    for (std::size_t k = 0; k < width; ++k) v.lane[k] = a.lane[k] - b.lane[k];
+    return v;
+  }
 
   /// Inclusive prefix sum across the lanes.
   [[nodiscard]] Vec inclusive_scan() const {
@@ -143,6 +149,9 @@ struct Vec<float> {
     return {_mm256_add_ps(a.r, b.r)};
   }
   Vec& operator+=(Vec b) { return *this = *this + b; }
+  [[nodiscard]] friend Vec operator-(Vec a, Vec b) {
+    return {_mm256_sub_ps(a.r, b.r)};
+  }
 
   [[nodiscard]] Vec inclusive_scan() const {
     // Log-step shift-add within each 128-bit half, then carry the low
@@ -193,6 +202,9 @@ struct Vec<double> {
     return {_mm256_add_pd(a.r, b.r)};
   }
   Vec& operator+=(Vec b) { return *this = *this + b; }
+  [[nodiscard]] friend Vec operator-(Vec a, Vec b) {
+    return {_mm256_sub_pd(a.r, b.r)};
+  }
 
   [[nodiscard]] Vec inclusive_scan() const {
     __m256d x = r;
@@ -307,6 +319,9 @@ struct Vec<float> {
     return {_mm_add_ps(a.r, b.r)};
   }
   Vec& operator+=(Vec b) { return *this = *this + b; }
+  [[nodiscard]] friend Vec operator-(Vec a, Vec b) {
+    return {_mm_sub_ps(a.r, b.r)};
+  }
 
   [[nodiscard]] Vec inclusive_scan() const {
     __m128 x = r;
@@ -343,6 +358,9 @@ struct Vec<double> {
     return {_mm_add_pd(a.r, b.r)};
   }
   Vec& operator+=(Vec b) { return *this = *this + b; }
+  [[nodiscard]] friend Vec operator-(Vec a, Vec b) {
+    return {_mm_sub_pd(a.r, b.r)};
+  }
 
   [[nodiscard]] Vec inclusive_scan() const {
     const __m128d shifted =

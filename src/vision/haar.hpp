@@ -29,9 +29,12 @@ struct HaarFeature {
   std::size_t height = 0;  ///< window extent (all rects must fit)
   std::size_t width = 0;
 
-  /// Response at window origin (r, c); the window must lie inside the table.
-  template <class T>
-  [[nodiscard]] double evaluate(const sat::Matrix<T>& table, std::size_t r,
+  /// Response at window origin (r, c); the window must lie inside the
+  /// table. Works on any table type with rows()/cols() and an ADL-visible
+  /// region_sum — a dense sat::Matrix or a compressed sat::TiledSat (each
+  /// rectangle then costs four decompress-on-the-fly corner lookups).
+  template <class Table>
+  [[nodiscard]] double evaluate(const Table& table, std::size_t r,
                                 std::size_t c) const {
     SAT_DCHECK(r + height <= table.rows() && c + width <= table.cols());
     double acc = 0;
@@ -99,9 +102,10 @@ struct HaarHit {
 };
 
 /// Dense scan of `feature` over the whole table with the given stride;
-/// returns hits with |response| ≥ threshold, strongest first.
-template <class T>
-[[nodiscard]] std::vector<HaarHit> scan_feature(const sat::Matrix<T>& table,
+/// returns hits with |response| ≥ threshold, strongest first. Accepts the
+/// same table types as HaarFeature::evaluate (dense Matrix or TiledSat).
+template <class Table>
+[[nodiscard]] std::vector<HaarHit> scan_feature(const Table& table,
                                                 const HaarFeature& feature,
                                                 double threshold,
                                                 std::size_t stride = 1) {

@@ -12,6 +12,8 @@
 
 #include "core/matrix.hpp"
 #include "core/region.hpp"
+#include "host/sat_residual.hpp"
+#include "sat/storage.hpp"
 #include "util/check.hpp"
 
 namespace satvision {
@@ -26,8 +28,11 @@ namespace satvision {
 }
 
 /// Box filter: the mean over a (2·radius+1)² window, O(1) per pixel.
-template <class T>
-[[nodiscard]] sat::Matrix<float> box_filter(const sat::Matrix<T>& table,
+/// `table` is any SAT with rows()/cols() and an ADL-visible region_mean —
+/// dense sat::Matrix or compressed sat::TiledSat (the means then come from
+/// decompress-on-the-fly corner lookups; no dense decode needed).
+template <class Table>
+[[nodiscard]] sat::Matrix<float> box_filter(const Table& table,
                                             std::size_t radius) {
   const std::size_t rows = table.rows(), cols = table.cols();
   sat::Matrix<float> out(rows, cols);
@@ -94,6 +99,53 @@ MomentTables MomentTables::build(const sat::Matrix<T>& image) {
   }
   return t;
 }
+
+/// MomentTables in tiled base+residual storage (sat::Storage::
+/// kTiledResidual): the same mean/variance/stddev interface, but both
+/// tables stay compressed and every query decompresses its four corners on
+/// the fly — the matcher and threshold paths never pay for a dense f64
+/// table pair. Drop-in for the `Moments` parameter of match_template_with.
+struct TiledMomentTables {
+  sat::TiledSat<double> sum;
+  sat::TiledSat<double> sum_sq;
+
+  template <class T>
+  [[nodiscard]] static TiledMomentTables build(
+      const sat::Matrix<T>& image,
+      std::size_t tile_w = sat::kDefaultResidualTileW) {
+    const std::size_t rows = image.rows(), cols = image.cols();
+    sat::Matrix<double> v(rows, cols), v2(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = 0; j < cols; ++j) {
+        const double x = static_cast<double>(image(i, j));
+        v(i, j) = x;
+        v2(i, j) = x * x;
+      }
+    TiledMomentTables t;
+    t.sum = sat::TiledSat<double>(rows, cols, tile_w);
+    t.sum_sq = sat::TiledSat<double>(rows, cols, tile_w);
+    sathost::sat_residual<double>(v.view(), t.sum);
+    sathost::sat_residual<double>(v2.view(), t.sum_sq);
+    return t;
+  }
+
+  [[nodiscard]] std::size_t rows() const { return sum.rows(); }
+  [[nodiscard]] std::size_t cols() const { return sum.cols(); }
+
+  [[nodiscard]] double mean(const sat::Rect& rect) const {
+    return sat::region_mean(sum, rect);
+  }
+
+  [[nodiscard]] double variance(const sat::Rect& rect) const {
+    const double m = mean(rect);
+    const double m2 = sat::region_mean(sum_sq, rect);
+    return std::max(0.0, m2 - m * m);
+  }
+
+  [[nodiscard]] double stddev(const sat::Rect& rect) const {
+    return std::sqrt(variance(rect));
+  }
+};
 
 /// Local standard deviation map (adaptive-thresholding building block).
 [[nodiscard]] inline sat::Matrix<float> local_stddev(const MomentTables& t,

@@ -18,13 +18,17 @@ struct MatchResult {
   double score = -2.0;  ///< ZNCC in [−1, 1]
 };
 
-/// Finds the best placements of `templ` inside `image`. Returns up to
+/// Finds the best placements of `templ` inside `image` using a caller-
+/// supplied window-statistics source: any type with a
+/// `variance(sat::Rect) -> double` member built over `image` — dense
+/// MomentTables or the compressed TiledMomentTables (window statistics
+/// then come from decompress-on-the-fly corner lookups). Returns up to
 /// `top_k` results, best first, suppressing hits that overlap a better one
 /// by more than half the template in either axis.
-template <class T>
-[[nodiscard]] std::vector<MatchResult> match_template(
+template <class T, class Moments>
+[[nodiscard]] std::vector<MatchResult> match_template_with(
     const sat::Matrix<T>& image, const sat::Matrix<T>& templ,
-    std::size_t top_k = 1) {
+    const Moments& mom, std::size_t top_k = 1) {
   const std::size_t rows = image.rows(), cols = image.cols();
   const std::size_t th = templ.rows(), tw = templ.cols();
   SAT_CHECK(th >= 1 && tw >= 1 && th <= rows && tw <= cols);
@@ -43,8 +47,6 @@ template <class T>
       tvar += d * d;
     }
   const double tnorm = std::sqrt(tvar);
-
-  const MomentTables mom = MomentTables::build(image);
 
   std::vector<MatchResult> all;
   all.reserve((rows - th + 1) * (cols - tw + 1) / 4 + 1);
@@ -84,6 +86,15 @@ template <class T>
     if (kept.size() == top_k) break;
   }
   return kept;
+}
+
+/// match_template_with over freshly built dense MomentTables — the
+/// original single-call matcher.
+template <class T>
+[[nodiscard]] std::vector<MatchResult> match_template(
+    const sat::Matrix<T>& image, const sat::Matrix<T>& templ,
+    std::size_t top_k = 1) {
+  return match_template_with(image, templ, MomentTables::build(image), top_k);
 }
 
 }  // namespace satvision

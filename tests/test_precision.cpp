@@ -81,6 +81,97 @@ TEST(Precision, ErrorGrowsSublinearlyWithSize) {
   EXPECT_LT(err_large, 16 * err_small + 1e-7);
 }
 
+/// u8-valued random float matrix (integer values 0..255) and its exact
+/// i64 SAT — the workload for the f32 divergence boundary tests.
+struct U8Workload {
+  Matrix<float> input;
+  Matrix<std::int64_t> oracle;
+  explicit U8Workload(std::size_t n) : input(n, n), oracle(n, n) {
+    satutil::Rng rng(101);
+    Matrix<std::int64_t> wide(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto v = rng.next_below(256);
+        input(i, j) = static_cast<float>(v);
+        wide(i, j) = static_cast<std::int64_t>(v);
+      }
+    sathost::sat_sequential<std::int64_t>(wide.view(), oracle.view());
+  }
+};
+
+TEST(Precision, PlainF32SatDivergesAtThe2p24Boundary) {
+  // f32 has a 24-bit significand: integers are represented exactly up to
+  // 2^24 = 16 777 216, and every partial sum of a u8-valued SAT below that
+  // is an exactly-representable integer, so the plain f32 table is BIT-
+  // EXACT — until the running totals cross 2^24 and odd integers stop
+  // existing in f32. With mean 127.5 the corner sum n²·127.5 crosses 2^24
+  // at n ≈ 363, so scanning n = 256..512 step 8 must pin the first
+  // divergent size at 368 (the first scan point past the boundary; seed-
+  // stable because divergence is forced as soon as a true cell value lands
+  // on a non-representable integer, which happens within a handful of
+  // cells of crossing).
+  std::size_t first_divergent = 0;
+  for (std::size_t n = 256; n <= 512 && first_divergent == 0; n += 8) {
+    const U8Workload wl(n);
+    Matrix<float> plain(n, n);
+    sathost::sat_sequential<float>(wl.input.view(), plain.view());
+    for (std::size_t i = 0; i < n && first_divergent == 0; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        if (static_cast<std::int64_t>(plain(i, j)) != wl.oracle(i, j)) {
+          first_divergent = n;
+          break;
+        }
+  }
+  ASSERT_NE(first_divergent, 0u) << "no divergence up to 512 — boundary "
+                                    "reasoning broken";
+  // Theoretical floor: every value is ≤ 255, so no cell can reach 2^24
+  // before n² · 255 > 2^24, i.e. n > 256.
+  EXPECT_GT(first_divergent, 256u);
+  EXPECT_EQ(first_divergent, 368u);
+}
+
+TEST(Precision, KahanF32StaysCorrectlyRoundedPastTheBoundary) {
+  // 512² is well past the divergence size pinned above. The compensated
+  // scans cannot beat the f32 representation — an odd integer above 2^24
+  // still has no f32 encoding — but they must stay within 1 ulp of the
+  // exact value (the compensation term carries what the naive accumulation
+  // drops), for every engine that supports Storage::kKahanF32.
+  const std::size_t n = 512;
+  const U8Workload wl(n);
+  Matrix<float> plain(n, n);
+  sathost::sat_sequential<float>(wl.input.view(), plain.view());
+
+  for (sat::CpuEngine engine : {sat::CpuEngine::kSequential,
+                                sat::CpuEngine::kSimd,
+                                sat::CpuEngine::kSkssLb}) {
+    sat::Options o;
+    o.backend = sat::Backend::kCpu;
+    o.cpu_engine = engine;
+    o.cpu_threads = 2;
+    o.storage = sat::Storage::kKahanF32;
+    const auto kah = sat::compute_sat(wl.input, o);
+    double plain_worst = 0, kahan_worst = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        const double exact = static_cast<double>(wl.oracle(i, j));
+        const double ulp =
+            std::abs(static_cast<double>(
+                std::nextafterf(plain(i, j), HUGE_VALF) - plain(i, j)));
+        kahan_worst = std::max(
+            kahan_worst,
+            std::abs(static_cast<double>(kah.table(i, j)) - exact) /
+                std::max(1.0, ulp));
+        plain_worst = std::max(
+            plain_worst, std::abs(static_cast<double>(plain(i, j)) - exact) /
+                             std::max(1.0, ulp));
+      }
+    EXPECT_LE(kahan_worst, 1.0) << static_cast<int>(engine)
+                                << ": compensated scan drifted past 1 ulp";
+    // The naive table is meaningfully worse by the same yardstick.
+    EXPECT_GT(plain_worst, 4 * kahan_worst);
+  }
+}
+
 TEST(Precision, UnsignedWraparoundIsWellDefinedAndConsistent) {
   // uint32 overflow wraps mod 2^32 in both the oracle and the simulated
   // pipeline — region sums of wrapped tables still reconstruct exactly.

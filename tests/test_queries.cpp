@@ -1,12 +1,14 @@
 // Tests for the on-device region-query kernels and the PGM image I/O.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
 #include "core/api.hpp"
 #include "gpusim/gpusim.hpp"
 #include "host/sat_cpu.hpp"
+#include "host/sat_residual.hpp"
 #include "sat/query_kernel.hpp"
 #include "util/pgm.hpp"
 #include "util/rng.hpp"
@@ -92,6 +94,106 @@ TEST_F(QueryKernels, CountOnlyModeCountsWithoutData) {
                                              random_rects(64, 11), &rep);
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(rep.counters.element_reads, 4 * 64u);
+}
+
+// --- query battery across storage modes ------------------------------------
+
+/// Rectangular, degenerate (1×n / n×1 / single-cell / empty) and
+/// tile-boundary-straddling rectangles. `w` is the residual tile width the
+/// straddling boxes are aimed at: each one crosses at least one multiple of
+/// w in each axis, so every four-corner lookup mixes tiles.
+std::vector<Rect> query_battery(std::size_t rows, std::size_t cols,
+                                std::size_t w) {
+  std::vector<Rect> qs;
+  // Degenerate thin slabs along each border and through the middle.
+  qs.push_back({0, 0, 1, cols});               // 1×n top row
+  qs.push_back({rows - 1, 0, rows, cols});     // 1×n bottom row
+  qs.push_back({rows / 2, 0, rows / 2 + 1, cols});
+  qs.push_back({0, 0, rows, 1});               // n×1 left column
+  qs.push_back({0, cols - 1, rows, cols});     // n×1 right column
+  qs.push_back({0, cols / 2, rows, cols / 2 + 1});
+  qs.push_back({0, 0, 1, 1});                  // single cell at origin
+  qs.push_back({rows - 1, cols - 1, rows, cols});
+  qs.push_back({3, 5, 3, 9});                  // empty (r0 == r1)
+  qs.push_back({4, 7, 9, 7});                  // empty (c0 == c1)
+  qs.push_back({0, 0, rows, cols});            // whole table
+  // Tile-boundary straddlers: a ±1 band around every interior multiple of
+  // w, in both axes, plus boxes that span several whole tiles.
+  for (std::size_t b = w; b < rows; b += w) {
+    qs.push_back({b - 1, 0, b + 1, cols});
+    qs.push_back({b - 1, w - 1, b + 1, std::min(cols, w + 1)});
+  }
+  for (std::size_t b = w; b < cols; b += w) {
+    qs.push_back({0, b - 1, rows, b + 1});
+  }
+  if (rows > w + 2 && cols > 2 * w + 2)
+    qs.push_back({w - 1, w - 1, w + 2, 2 * w + 2});  // 4-tile corner cross
+  return qs;
+}
+
+TEST(StorageModeQueries, DenseAndResidualAgreeOnDegenerateAndStraddling) {
+  const std::size_t rows = 96, cols = 160, w = 32;
+  const auto in = sat::Matrix<std::int32_t>::random(rows, cols, 19, 0, 255);
+  sat::Matrix<std::int64_t> wide(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      wide(i, j) = in(i, j);
+  sat::Matrix<std::int64_t> dense(rows, cols);
+  sathost::sat_sequential<std::int64_t>(wide.view(), dense.view());
+  sat::TiledSat<std::int32_t> tiled(rows, cols, w);
+  sathost::sat_residual<std::int32_t>(in.view(), tiled);
+
+  for (const Rect& r : query_battery(rows, cols, w)) {
+    const std::int64_t expect = sat::region_sum(dense, r);
+    ASSERT_EQ(sat::region_sum(tiled, r), expect)
+        << "[" << r.r0 << "," << r.r1 << ")x[" << r.c0 << "," << r.c1 << ")";
+    // Brute-force the rectangle from the input as an independent oracle.
+    std::int64_t brute = 0;
+    for (std::size_t i = r.r0; i < r.r1; ++i)
+      for (std::size_t j = r.c0; j < r.c1; ++j) brute += in(i, j);
+    ASSERT_EQ(expect, brute);
+  }
+}
+
+TEST(StorageModeQueries, KahanTableAnswersTheSameBattery) {
+  const std::size_t rows = 128, cols = 96, w = 32;
+  const auto in = sat::Matrix<float>::random(rows, cols, 29, 0.0f, 255.0f);
+  sat::Options o;
+  o.backend = sat::Backend::kCpu;
+  o.cpu_engine = sat::CpuEngine::kSimd;
+  o.storage = sat::Storage::kKahanF32;
+  const auto kah = sat::compute_sat(in, o);
+  for (const Rect& r : query_battery(rows, cols, w)) {
+    double brute = 0;
+    for (std::size_t i = r.r0; i < r.r1; ++i)
+      for (std::size_t j = r.c0; j < r.c1; ++j)
+        brute += static_cast<double>(in(i, j));
+    const double got = static_cast<double>(sat::region_sum(kah.table, r));
+    // The four-corner difference cancels in f32: a small box far from the
+    // origin subtracts corners of table-total magnitude (~1.5e6 here), so
+    // the achievable absolute error is a few ulps of THAT, not of the box
+    // sum — Kahan keeps the stored corners exact-as-representable but
+    // cannot beat the representation. Tolerance: 4 corner roundings.
+    const double table_total = 128.0 * 96.0 * 255.0;
+    const double tol = 4.0 * table_total * 0x1p-23 + std::abs(brute) * 1e-5;
+    ASSERT_NEAR(got, brute, tol)
+        << "[" << r.r0 << "," << r.r1 << ")x[" << r.c0 << "," << r.c1 << ")";
+  }
+}
+
+TEST(StorageModeQueries, TiledQueryKernelHandlesTheBattery) {
+  const std::size_t rows = 96, cols = 96, w = 32;
+  const auto in = sat::Matrix<std::int64_t>::random(rows, cols, 37, 0, 50);
+  sat::Matrix<std::int64_t> dense(rows, cols);
+  sathost::sat_sequential<std::int64_t>(in.view(), dense.view());
+  sat::TiledSat<std::int64_t> tiled(rows, cols, w);
+  sathost::sat_residual<std::int64_t>(in.view(), tiled);
+  gpusim::SimContext qsim;
+  const auto battery = query_battery(rows, cols, w);
+  const auto got = satalgo::run_query_kernel_tiled(qsim, tiled, battery);
+  ASSERT_EQ(got.size(), battery.size());
+  for (std::size_t k = 0; k < battery.size(); ++k)
+    ASSERT_EQ(got[k], sat::region_sum(dense, battery[k])) << k;
 }
 
 // --- PGM I/O ---------------------------------------------------------------

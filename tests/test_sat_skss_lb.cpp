@@ -14,6 +14,7 @@
 
 #include "core/matrix.hpp"
 #include "host/sat_cpu.hpp"
+#include "host/sat_residual.hpp"
 #include "host/sat_skss_lb.hpp"
 #include "host/thread_pool.hpp"
 #include "obs/registry.hpp"
@@ -74,6 +75,42 @@ TEST_P(SkssLbMatrix, MatchesSequentialF32) {
 TEST_P(SkssLbMatrix, MatchesSequentialI64) {
   const auto [n, w, workers] = GetParam();
   run_case<std::int64_t>(n, n, w, workers, /*seed=*/n * 137 + w);
+}
+
+// Storage-mode axis of the same sweep: the residual encoder must be
+// BIT-exact against the sequential i64 oracle at every (n, W, workers)
+// point (integral contract), and the Kahan-compensated f32 engine must
+// stay within the same bounded error as the plain one.
+TEST_P(SkssLbMatrix, ResidualStorageMatchesSequentialI64) {
+  const auto [n, w, workers] = GetParam();
+  const auto input =
+      Matrix<std::int64_t>::random(n, n, /*seed=*/n * 139 + w, 0, 9);
+  Matrix<std::int64_t> ref(n, n);
+  sathost::sat_sequential<std::int64_t>(input.view(), ref.view());
+  sathost::ThreadPool pool(workers);
+  sathost::SkssLbOptions opt;
+  opt.tile_w = w;
+  opt.workers = workers;
+  sat::TiledSat<std::int64_t> tiled(n, n, w);
+  sathost::sat_skss_lb_residual<std::int64_t>(pool, input.view(), tiled, opt);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      ASSERT_EQ(tiled.value(i, j), ref(i, j))
+          << "at (" << i << "," << j << ") n=" << n << " w=" << w;
+}
+
+TEST_P(SkssLbMatrix, KahanStorageMatchesSequentialF32) {
+  const auto [n, w, workers] = GetParam();
+  const auto input =
+      Matrix<float>::random(n, n, /*seed=*/n * 149 + w, 0.0f, 1.0f);
+  Matrix<float> got(n, n);
+  sathost::ThreadPool pool(workers);
+  sathost::SkssLbOptions opt;
+  opt.tile_w = w;
+  opt.workers = workers;
+  opt.kahan = true;
+  sathost::sat_skss_lb<float>(pool, input.view(), got.view(), opt);
+  expect_sat_equal(input, got);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -176,10 +176,41 @@ TEST(SatdProtocol, MatrixPayloadRejectsMalformed) {
   p = i32_payload(2, 2, {1, 2, 3, 4});
   p[8] = 0x55;
   EXPECT_FALSE(satd::parse_matrix_payload(p, m));
-  // Reserved bits set.
+  // Unknown storage mode (valid values are 0..2).
   p = i32_payload(2, 2, {1, 2, 3, 4});
-  p[10] = 1;
+  p[10] = 3;
   EXPECT_FALSE(satd::parse_matrix_payload(p, m));
+  // Reserved byte set.
+  p = i32_payload(2, 2, {1, 2, 3, 4});
+  p[11] = 1;
+  EXPECT_FALSE(satd::parse_matrix_payload(p, m));
+  // kKahan storage requires an f32 matrix.
+  p = i32_payload(2, 2, {1, 2, 3, 4});
+  p[10] = static_cast<std::uint8_t>(satd::WireStorage::kKahan);
+  EXPECT_FALSE(satd::parse_matrix_payload(p, m));
+}
+
+TEST(SatdProtocol, MatrixPayloadStorageByteRoundTrips) {
+  // storage rides in byte 10 of the metadata (low half of the former
+  // reserved u16); the default-dense encoding keeps historical frames
+  // byte-identical.
+  auto dense = i32_payload(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(dense[10], 0u);
+  satd::MatrixPayload m;
+  ASSERT_TRUE(satd::parse_matrix_payload(dense, m));
+  EXPECT_EQ(m.storage, satd::WireStorage::kDense);
+
+  auto resid = i32_payload(2, 2, {1, 2, 3, 4});
+  resid[10] = static_cast<std::uint8_t>(satd::WireStorage::kResidual);
+  ASSERT_TRUE(satd::parse_matrix_payload(resid, m));
+  EXPECT_EQ(m.storage, satd::WireStorage::kResidual);
+
+  // kKahan is accepted for f32 payloads.
+  const std::vector<float> vals{1.0f, 2.0f, 3.0f, 4.0f};
+  auto kah = satd::encode_matrix_payload(2, 2, Dtype::kF32, vals.data(),
+                                         satd::WireStorage::kKahan);
+  ASSERT_TRUE(satd::parse_matrix_payload(kah, m));
+  EXPECT_EQ(m.storage, satd::WireStorage::kKahan);
 }
 
 TEST(SatdProtocol, ErrorPayloadRejectsLengthMismatch) {

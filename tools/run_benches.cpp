@@ -19,6 +19,7 @@
 #include "obs/registry.hpp"
 #include "host/sat_cpu.hpp"
 #include "host/sat_parallel.hpp"
+#include "host/sat_residual.hpp"
 #include "host/sat_simd.hpp"
 #include "host/sat_skss_lb.hpp"
 #include "host/sat_wavefront.hpp"
@@ -33,7 +34,13 @@ namespace {
 using satbench::Record;
 
 int iterations_for(std::size_t n, bool smoke) {
-  if (smoke) return 3;
+  // Smoke rows at n <= 1024 use the SAME repeat count as the committed
+  // ledger: the normalized CI gate compares a smoke row's best-of against
+  // the full ledger's best-of, and E[min of 3] > E[min of 9] — comparing
+  // different repeat counts biases the fast rows' ratios by 10-30% on a
+  // 1-core box, which is bigger than the 10% gate itself. Only the sizes
+  // smoke never runs keep a reduced count.
+  if (smoke) return n >= 4096 ? 3 : 9;
   // Best-of over enough repeats that a noisy neighbour on a shared box does
   // not end up in the committed ledger.
   return n >= 4096 ? 5 : 9;
@@ -163,6 +170,42 @@ std::vector<Record> run_host_benches(bool smoke) {
                     r.wall_ms, r.melem_per_s());
         out.push_back(r);
       }
+    }
+    // Storage-mode rows (docs/host_engine.md, "Storage modes").
+    // skss_lb_resid16: the SKSS-LB engine writing tiled base+residual
+    // output instead of the dense table. Binary 0/1 i32 input with W=128
+    // keeps every 128×128 tile-local SAT ≤ 16384, so all tiles take the
+    // u16 residual plane — 2 output bytes per element instead of 4. The
+    // row's metrics snapshot carries host.storage.{residual,dense}_bytes;
+    // bench-smoke CI asserts the ≥40% byte reduction from them.
+    {
+      const auto ai = sat::Matrix<std::int32_t>::random(n, n, 1, 0, 1);
+      const auto srci = ai.view();
+      sat::TiledSat<std::int32_t> tiled(n, n, 128);
+      obs::Registry reg;
+      sathost::SkssLbOptions opt;
+      opt.tile_w = 128;
+      opt.metrics = &reg;
+      Record r = time_host(
+          "skss_lb_resid16", n, smoke,
+          [&] {
+            sathost::sat_skss_lb_residual<std::int32_t>(pool, srci, tiled,
+                                                        opt);
+          },
+          &reg);
+      r.dtype = "i32";
+      out.push_back(r);
+    }
+    // skss_lb_kahan: the f32 engine with Kahan-compensated column
+    // accumulation — what the compensation costs on top of the plain row.
+    {
+      obs::Registry reg;
+      sathost::SkssLbOptions opt;
+      opt.kahan = true;
+      opt.metrics = &reg;
+      out.push_back(time_host(
+          "skss_lb_kahan", n, smoke,
+          [&] { sathost::sat_skss_lb<float>(pool, src, dst, opt); }, &reg));
     }
     // Batch-pipeline row: kBatch same-size images through one scheduler
     // call (sat_skss_lb_batch), so late tiles of image k overlap early
@@ -303,6 +346,58 @@ std::vector<Record> run_host_benches(bool smoke) {
       std::printf("  %-28s %10.3f ms  %9.1f Melem/s\n", r.name.c_str(),
                   r.wall_ms, r.melem_per_s());
       out.push_back(r);
+    }
+    // Storage head-to-head at 8192²: dense i32 SKSS-LB vs the residual
+    // encoder on the SAME binary 0/1 input, same W — the only variable is
+    // the output representation (4 bytes/element streamed vs 2). W=256:
+    // random binary tiles stay far below the u16 range in practice, and the
+    // exact per-tile range check falls back to u32 if one ever does not
+    // (host.storage.overflow_tiles counts it). Like the simd/skss_lb pair
+    // above the two are INTERLEAVED so machine drift penalizes both
+    // equally. ledger_diff gates the residual row; whether the byte saving
+    // becomes a speedup depends on the machine being store-bandwidth-bound
+    // (docs/host_engine.md, "Storage modes").
+    {
+      const auto ai = sat::Matrix<std::int32_t>::random(n, n, 1, 0, 1);
+      sat::Matrix<std::int32_t> bi(n, n);
+      const auto srci = ai.view();
+      const auto dsti = bi.view();
+      sat::TiledSat<std::int32_t> tiled(n, n, 256);
+      obs::Registry rreg;
+      sathost::SkssLbOptions dense_opt;
+      dense_opt.tile_w = 256;
+      sathost::SkssLbOptions resid_opt;
+      resid_opt.tile_w = 256;
+      resid_opt.metrics = &rreg;
+      double best_dense = 0.0, best_resid = 0.0;
+      for (int i = 0; i < iters; ++i) {
+        const double t_dense = satbench::time_best_ms(1, [&] {
+          sathost::sat_skss_lb<std::int32_t>(pool, srci, dsti, dense_opt);
+        });
+        const double t_resid = satbench::time_best_ms(1, [&] {
+          sathost::sat_skss_lb_residual<std::int32_t>(pool, srci, tiled,
+                                                      resid_opt);
+        });
+        if (i == 0 || t_dense < best_dense) best_dense = t_dense;
+        if (i == 0 || t_resid < best_resid) best_resid = t_resid;
+      }
+      for (auto [impl, ms, metrics] :
+           {std::tuple<const char*, double, obs::Registry*>{
+                "skss_lb_i32", best_dense, nullptr},
+            {"skss_lb_resid16", best_resid, &rreg}}) {
+        Record r;
+        r.name = std::string("host_sat/") + impl + "/" + std::to_string(n);
+        r.impl = impl;
+        r.dtype = "i32";
+        r.n = n;
+        r.elems = n * n;
+        r.iterations = iters;
+        r.wall_ms = ms;
+        if (metrics != nullptr) r.metrics_json = metrics->snapshot().to_json();
+        std::printf("  %-28s %10.3f ms  %9.1f Melem/s\n", r.name.c_str(),
+                    r.wall_ms, r.melem_per_s());
+        out.push_back(r);
+      }
     }
   }
   return out;

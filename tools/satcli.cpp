@@ -80,6 +80,14 @@ sat::CpuEngine parse_host_impl(const std::string& name) {
   return sat::CpuEngine::kParallel;
 }
 
+sat::Storage parse_storage(const std::string& name) {
+  if (name == "dense") return sat::Storage::kDense;
+  if (name == "residual") return sat::Storage::kTiledResidual;
+  if (name == "kahan") return sat::Storage::kKahanF32;
+  SAT_CHECK_MSG(false, "unknown storage mode '" << name << "'");
+  return sat::Storage::kDense;
+}
+
 satalgo::Algorithm parse_algorithm(const std::string& name) {
   if (name == "duplicate") return satalgo::Algorithm::kDuplicate;
   if (name == "2r2w") return satalgo::Algorithm::k2R2W;
@@ -112,6 +120,11 @@ int mode_compute(const satutil::ArgParser& args) {
     opts.cpu_tile_w = static_cast<std::size_t>(args.get_int("tile-width"));
     opts.cpu_threads = static_cast<std::size_t>(args.get_int("threads"));
   }
+  opts.storage = parse_storage(args.get("storage"));
+  SAT_CHECK_MSG(
+      opts.storage == sat::Storage::kDense ||
+          opts.backend == sat::Backend::kCpu,
+      "--storage " << args.get("storage") << " needs --host-impl (CPU only)");
   gpusim::ProtocolChecker checker;
   if (args.get_flag("check-protocol")) opts.checker = &checker;
   ObsRequest obs(args);
@@ -287,6 +300,9 @@ int main(int argc, char** argv) {
            "host tile width W, 0 = engine default (with --host-impl)")
       .add("threads", "0",
            "host worker threads, 0 = hardware concurrency (with --host-impl)")
+      .add("storage", "dense",
+           "output storage mode (with --host-impl): dense | residual "
+           "(tiled base+residual) | kahan (compensated f32 scans)")
       .add("seed", "1", "workload seed")
       .add("out", "trace.csv", "output file (trace mode)")
       .add_flag("check-protocol",

@@ -11,7 +11,7 @@
 //   body      := header | payload
 //   header    := u32 magic("SATD") | u16 version | u16 type | u64 trace_id
 //   COMPUTE / RESULT payload
-//             := u32 rows | u32 cols | u16 dtype | u16 reserved(0)
+//             := u32 rows | u32 cols | u16 dtype | u8 storage | u8 reserved(0)
 //                | rows*cols elements, row-major
 //   ERROR payload
 //             := u32 code | u32 msg_len | msg bytes
@@ -35,7 +35,7 @@ namespace satd {
 inline constexpr std::uint32_t kMagic = 0x44544153;  // "SATD" on the wire
 inline constexpr std::uint16_t kVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 16;   // magic+version+type+trace
-inline constexpr std::size_t kComputeMeta = 12;   // rows+cols+dtype+reserved
+inline constexpr std::size_t kComputeMeta = 12;  // rows+cols+dtype+storage+rsvd
 inline constexpr std::size_t kDefaultMaxFrameBytes = 64ull << 20;
 
 /// Frame types. Requests have the high payload bit clear, replies set it;
@@ -67,6 +67,21 @@ enum class Dtype : std::uint16_t {
 
 [[nodiscard]] inline bool dtype_valid(std::uint16_t raw) {
   return raw <= static_cast<std::uint16_t>(Dtype::kI64);
+}
+
+/// Storage-mode byte of a COMPUTE payload (sat::Storage on the wire). It
+/// selects how the SERVER computes the table; RESULT matrices are always
+/// dense row-major regardless (storage byte 0 in replies), so clients need
+/// no decompressor. kKahan is only meaningful for f32 jobs — the parser
+/// rejects it for integer dtypes.
+enum class WireStorage : std::uint8_t {
+  kDense = 0,     ///< dense output (the default; the pre-v1.1 behavior)
+  kResidual = 1,  ///< tiled base+residual compute, decoded into the reply
+  kKahan = 2,     ///< f32 Kahan-compensated column scans
+};
+
+[[nodiscard]] inline bool storage_valid(std::uint8_t raw) {
+  return raw <= static_cast<std::uint8_t>(WireStorage::kKahan);
 }
 
 /// ERROR payload codes (docs/satd.md "Error and backpressure codes").
@@ -190,13 +205,17 @@ struct MatrixPayload {
   std::uint32_t rows = 0;
   std::uint32_t cols = 0;
   Dtype dtype = Dtype::kF32;
+  WireStorage storage = WireStorage::kDense;
   const std::uint8_t* data = nullptr;  ///< rows*cols*dtype_size bytes, LE
 };
 
 /// Builds a COMPUTE/RESULT payload from raw little-endian element bytes.
+/// `storage` selects the server-side storage mode for COMPUTE frames;
+/// RESULT frames always use kDense (the default keeps pre-v1.1 byte
+/// layouts, including the canonical doc frame, unchanged).
 [[nodiscard]] inline std::vector<std::uint8_t> encode_matrix_payload(
-    std::uint32_t rows, std::uint32_t cols, Dtype dtype,
-    const void* elements) {
+    std::uint32_t rows, std::uint32_t cols, Dtype dtype, const void* elements,
+    WireStorage storage = WireStorage::kDense) {
   const std::size_t nbytes =
       static_cast<std::size_t>(rows) * cols * dtype_size(dtype);
   std::vector<std::uint8_t> p;
@@ -204,7 +223,8 @@ struct MatrixPayload {
   put_u32(p, rows);
   put_u32(p, cols);
   put_u16(p, static_cast<std::uint16_t>(dtype));
-  put_u16(p, 0);  // reserved
+  p.push_back(static_cast<std::uint8_t>(storage));
+  p.push_back(0);  // reserved
   const auto* src = static_cast<const std::uint8_t*>(elements);
   p.insert(p.end(), src, src + nbytes);
   return p;
@@ -212,18 +232,24 @@ struct MatrixPayload {
 
 /// Parses a COMPUTE/RESULT payload. Returns false (and leaves `out`
 /// unspecified) when the metadata is malformed: short payload, zero or
-/// absurd shape, unknown dtype, reserved != 0, or element bytes that do not
-/// match rows*cols*dtype_size exactly.
+/// absurd shape, unknown dtype, unknown storage byte, reserved != 0,
+/// kKahan storage with a non-f32 dtype, or element bytes that do not match
+/// rows*cols*dtype_size exactly.
 [[nodiscard]] inline bool parse_matrix_payload(
     const std::vector<std::uint8_t>& payload, MatrixPayload& out) {
   if (payload.size() < kComputeMeta) return false;
   out.rows = get_u32(payload.data());
   out.cols = get_u32(payload.data() + 4);
   const std::uint16_t raw_dtype = get_u16(payload.data() + 8);
-  const std::uint16_t reserved = get_u16(payload.data() + 10);
+  const std::uint8_t raw_storage = payload[10];
+  const std::uint8_t reserved = payload[11];
   if (out.rows == 0 || out.cols == 0) return false;
-  if (!dtype_valid(raw_dtype) || reserved != 0) return false;
+  if (!dtype_valid(raw_dtype) || !storage_valid(raw_storage)) return false;
+  if (reserved != 0) return false;
   out.dtype = static_cast<Dtype>(raw_dtype);
+  out.storage = static_cast<WireStorage>(raw_storage);
+  if (out.storage == WireStorage::kKahan && out.dtype != Dtype::kF32)
+    return false;
   const std::uint64_t nbytes = std::uint64_t{out.rows} * out.cols *
                                dtype_size(out.dtype);
   if (payload.size() - kComputeMeta != nbytes) return false;

@@ -291,6 +291,7 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame&& frame) {
   job.rows = m.rows;
   job.cols = m.cols;
   job.dtype = m.dtype;
+  job.storage = m.storage;
   const std::size_t nbytes =
       static_cast<std::size_t>(m.rows) * m.cols * dtype_size(m.dtype);
   job.elements.resize((nbytes + 7) / 8);
@@ -305,9 +306,11 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn, Frame&& frame) {
   }
   m_queue_depth_->record(queue_.size());
   if (opts_.trace != nullptr) {
-    char args[96];
-    std::snprintf(args, sizeof args, "{\"rows\":%u,\"cols\":%u,\"dtype\":%u}",
-                  m.rows, m.cols, static_cast<unsigned>(m.dtype));
+    char args[112];
+    std::snprintf(args, sizeof args,
+                  "{\"rows\":%u,\"cols\":%u,\"dtype\":%u,\"storage\":%u}",
+                  m.rows, m.cols, static_cast<unsigned>(m.dtype),
+                  static_cast<unsigned>(m.storage));
     opts_.trace->async_begin(trace_pid_, frame.trace_id, "request", "satd",
                              opts_.trace->now_host_us(), args);
   }
@@ -319,7 +322,8 @@ void Server::dispatcher_loop() {
     std::vector<Job> batch = queue_.pop_batch(
         opts_.batch_max == 0 ? 1 : opts_.batch_max,
         [](const Job& a, const Job& b) {
-          return a.rows == b.rows && a.cols == b.cols && a.dtype == b.dtype;
+          return a.rows == b.rows && a.cols == b.cols &&
+                 a.dtype == b.dtype && a.storage == b.storage;
         });
     if (batch.empty()) return;  // queue closed and drained
     m_batches_->add();
@@ -359,6 +363,15 @@ void Server::run_batch_typed(std::vector<Job>& batch) {
     opt.backend = sat::Backend::kCpu;
     opt.cpu_engine = sat::CpuEngine::kSkssLb;
     opt.cpu_tile_w = opts_.tile_w;
+    switch (batch.front().storage) {
+      case WireStorage::kDense: break;
+      case WireStorage::kResidual:
+        opt.storage = sat::Storage::kTiledResidual;
+        break;
+      case WireStorage::kKahan:
+        opt.storage = sat::Storage::kKahanF32;
+        break;
+    }
     opt.pool = &pool_;
     opt.metrics = metrics_;
     opt.trace = opts_.trace;

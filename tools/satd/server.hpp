@@ -119,6 +119,10 @@ class Server {
     std::uint32_t rows = 0;
     std::uint32_t cols = 0;
     Dtype dtype = Dtype::kF32;
+    /// Requested server-side storage mode. Jobs only coalesce with
+    /// same-storage peers (one engine pass = one Options::storage); the
+    /// RESULT matrix is dense on the wire for every mode.
+    WireStorage storage = WireStorage::kDense;
     /// Element bytes, 8-aligned so spans of any supported dtype can view
     /// them directly.
     std::vector<std::uint64_t> elements;

@@ -1,0 +1,23 @@
+// satlint fixture: the host.storage.* family is matched by exact catalogue
+// row, not by prefix — adding the storage counters to the catalogue must not
+// blanket-allow arbitrary names under the prefix.  A misspelled or
+// undocumented storage metric still fires unknown-metric.
+//
+// satlint-expect: unknown-metric
+
+namespace obs {
+class Counter;
+class Registry {
+ public:
+  Counter& counter(const char* name);
+};
+}  // namespace obs
+
+void instrument(obs::Registry& reg) {
+  // OK: catalogued rows (docs/observability.md).
+  reg.counter("host.storage.residual_bytes");
+  reg.counter("host.storage.dense_bytes");
+  reg.counter("host.storage.overflow_tiles");
+  // BUG: "host.storage.saved_bytes" has no catalogue row.
+  reg.counter("host.storage.saved_bytes");
+}
